@@ -1,0 +1,246 @@
+// Benchmarks regenerating the paper's evaluation artifacts. One bench
+// (or bench family) per table and figure; cmd/table1, cmd/table2 and
+// cmd/figure8 print the corresponding human-readable tables. See
+// EXPERIMENTS.md for the paper-vs-measured record.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/dessim"
+	"repro/internal/multialign"
+	"repro/internal/oldalgo"
+	"repro/internal/parallel"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+	"repro/internal/topalign"
+)
+
+var benchParams = align.Params{Exch: scoring.BLOSUM62, Gap: scoring.DefaultProteinGap}
+
+// --- Table 1: old vs new sequential algorithm ---------------------------
+
+// BenchmarkTable1New times the new O(n^3) algorithm on titin-like
+// prefixes (the paper's lengths scaled down; 10 top alignments).
+func BenchmarkTable1New(b *testing.B) {
+	for _, n := range []int{200, 400, 600} {
+		s := seq.SyntheticTitin(n, 1).Codes
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := topalign.Find(s, topalign.Config{Params: benchParams, NumTops: 10}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1OldNaive times the O(n^4) baseline (Equation-1 gap
+// scans, exhaustive realignment). Deliberately small lengths: this is
+// the algorithm the paper replaced.
+func BenchmarkTable1OldNaive(b *testing.B) {
+	for _, n := range []int{100, 200} {
+		s := seq.SyntheticTitin(n, 1).Codes
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := oldalgo.Find(s, oldalgo.Config{
+					Params: benchParams, NumTops: 10, Kernel: oldalgo.KernelNaive,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1OldGotoh is the ablation between the two: the fast
+// kernel but none of the new algorithm's realignment avoidance. The gap
+// to BenchmarkTable1New isolates the queue heuristic + row caching.
+func BenchmarkTable1OldGotoh(b *testing.B) {
+	for _, n := range []int{200, 400} {
+		s := seq.SyntheticTitin(n, 1).Codes
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := oldalgo.Find(s, oldalgo.Config{
+					Params: benchParams, NumTops: 10, Kernel: oldalgo.KernelGotoh,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table 2: conventional vs multi-matrix kernels ----------------------
+
+const table2Len = 2048
+
+func table2Input() []byte { return seq.SyntheticTitin(table2Len, 1).Codes }
+
+// BenchmarkTable2Conventional times one scalar matrix at the largest
+// split (the paper's "conventional" column).
+func BenchmarkTable2Conventional(b *testing.B) {
+	s := table2Input()
+	r := len(s) / 2
+	b.SetBytes(int64(r) * int64(len(s)-r))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		align.Score(benchParams, s[:r], s[r:])
+	}
+}
+
+// BenchmarkTable2ILP4 times four neighbouring matrices in the
+// interleaved ILP kernel (this reproduction's production group kernel).
+func BenchmarkTable2ILP4(b *testing.B) {
+	s := table2Input()
+	r0 := len(s)/2 - 2
+	b.SetBytes(4 * int64(len(s)/2) * int64(len(s)-len(s)/2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		multialign.ScoreGroupILPStriped(benchParams, s, r0, nil, 0)
+	}
+}
+
+// BenchmarkTable2SWAR4 times the packed-lane kernel standing in for SSE.
+func BenchmarkTable2SWAR4(b *testing.B) {
+	s := table2Input()
+	r0 := len(s)/2 - 2
+	b.SetBytes(4 * int64(len(s)/2) * int64(len(s)-len(s)/2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := multialign.ScoreGroup(benchParams, s, r0, 4, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2SWAR8 times the 8-lane kernel standing in for SSE2.
+func BenchmarkTable2SWAR8(b *testing.B) {
+	s := table2Input()
+	r0 := len(s)/2 - 4
+	b.SetBytes(8 * int64(len(s)/2) * int64(len(s)-len(s)/2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := multialign.ScoreGroup(benchParams, s, r0, 8, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Section 5.1: cache-aware striping ----------------------------------
+
+func BenchmarkStripingScalar(b *testing.B) {
+	s := seq.SyntheticTitin(4096, 1).Codes
+	r := len(s) / 2
+	for _, width := range []int{0, 1 << 30} { // default stripes vs one giant stripe
+		name := "striped"
+		if width > len(s) {
+			name = "rowwise"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(r) * int64(len(s)-r))
+			for i := 0; i < b.N; i++ {
+				align.ScoreStriped(benchParams, s[:r], s[r:], nil, r, width)
+			}
+		})
+	}
+}
+
+func BenchmarkStripingGroup(b *testing.B) {
+	s := seq.SyntheticTitin(4096, 1).Codes
+	r0 := len(s)/2 - 2
+	cells := 4 * int64(len(s)/2) * int64(len(s)-len(s)/2)
+	b.Run("rowwise", func(b *testing.B) {
+		b.SetBytes(cells)
+		for i := 0; i < b.N; i++ {
+			multialign.ScoreGroupILP(benchParams, s, r0, nil)
+		}
+	})
+	b.Run("striped", func(b *testing.B) {
+		b.SetBytes(cells)
+		for i := 0; i < b.N; i++ {
+			multialign.ScoreGroupILPStriped(benchParams, s, r0, nil, 0)
+		}
+	})
+}
+
+// --- Figure 8: cluster speedup simulation -------------------------------
+
+// BenchmarkFigure8 measures the discrete-event replay itself (the
+// figures come from cmd/figure8; this keeps the simulator honest about
+// its own cost).
+func BenchmarkFigure8(b *testing.B) {
+	s := seq.SyntheticTitin(400, 1).Codes
+	trace, err := dessim.Record(s, topalign.Config{Params: benchParams, NumTops: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := dessim.PaperModel()
+	for _, procs := range []int{16, 128} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dessim.Simulate(trace, model, procs, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- throughput and parallel-engine overhead ----------------------------
+
+// BenchmarkCellThroughput reports raw kernel cell rate (the paper's
+// Pentium III manages ~155M cells/s conventionally, >1G with SSE).
+func BenchmarkCellThroughput(b *testing.B) {
+	s := seq.SyntheticTitin(2048, 3).Codes
+	r := len(s) / 2
+	cells := int64(r) * int64(len(s)-r)
+	b.SetBytes(cells)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		align.Score(benchParams, s[:r], s[r:])
+	}
+}
+
+// BenchmarkParallelOverhead compares the sequential driver against the
+// shared-memory scheduler at 1 and 2 workers on the same input. On a
+// single-CPU host this measures pure scheduling overhead (Section 5.2's
+// scaling itself needs real cores; see dessim/cmd/figure8).
+func BenchmarkParallelOverhead(b *testing.B) {
+	s := seq.SyntheticTitin(300, 2).Codes
+	cfg := topalign.Config{Params: benchParams, NumTops: 10}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := topalign.Find(s, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, w := range []int{1, 2} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := parallel.Find(s, cfg, parallel.Config{Workers: w, Speculative: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGroupScheduling compares scalar task scheduling against the
+// Section 4.1 group mode end to end.
+func BenchmarkGroupScheduling(b *testing.B) {
+	s := seq.SyntheticTitin(400, 4).Codes
+	for _, lanes := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := topalign.Config{Params: benchParams, NumTops: 10, GroupLanes: lanes}
+				if _, err := topalign.Find(s, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,123 @@
+// Command figure8 regenerates Figure 8 of the paper: speed improvement
+// versus number of processors (1-128) for computing 1, 2, 5, 10, 25,
+// and 100 top alignments of titin.
+//
+// The measurement host has one CPU, so the 64-node cluster is replayed
+// in the discrete-event simulator of internal/dessim: a real sequential
+// run is recorded (which splits realign between acceptances, at what
+// cost), then the recorded workload is scheduled under the paper's
+// cluster cost model. See DESIGN.md's substitution table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/align"
+	"repro/internal/dessim"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+	"repro/internal/topalign"
+)
+
+func main() {
+	var (
+		length    = flag.Int("length", 1200, "titin-like sequence length (paper: 34350)")
+		topsFlag  = flag.String("tops", "1,2,5,10,25,100", "top-alignment counts (Figure 8 series)")
+		procsFlag = flag.String("procs", "1,2,4,8,16,32,64,96,128", "processor counts (Figure 8 x-axis)")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	tops, err := parseInts(*topsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	procs, err := parseInts(*procsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	maxTops := tops[len(tops)-1]
+
+	titin := seq.SyntheticTitin(*length, *seed)
+	params := align.Params{Exch: scoring.BLOSUM62, Gap: scoring.DefaultProteinGap}
+	fmt.Fprintf(os.Stderr, "figure8: recording a sequential run (%d residues, %d tops)...\n",
+		*length, maxTops)
+	trace, err := dessim.Record(titin.Codes, topalign.Config{Params: params, NumTops: maxTops})
+	if err != nil {
+		fatal(err)
+	}
+	if trace.Tops() < maxTops {
+		fmt.Fprintf(os.Stderr, "figure8: only %d top alignments exist; trimming series\n", trace.Tops())
+		trimmed := tops[:0]
+		for _, t := range tops {
+			if t <= trace.Tops() {
+				trimmed = append(trimmed, t)
+			}
+		}
+		tops = trimmed
+	}
+
+	model := dessim.PaperModel()
+	if *csv {
+		fmt.Println("procs,tops,speedup,wall_seconds,seq_seconds")
+	} else {
+		fmt.Printf("Figure 8: speed improvement vs processors (titin-like, %d residues)\n", *length)
+		fmt.Printf("(cost model: %.0fM cells/s scalar, SIMD factor %.1f, %s master+Myrinet)\n\n",
+			model.ScalarCellsPerSec/1e6, model.SimdFactor, "sacrificed")
+		fmt.Printf("%6s", "procs")
+		for _, t := range tops {
+			fmt.Printf(" %9s", fmt.Sprintf("%d top", t))
+		}
+		fmt.Println()
+	}
+	for _, p := range procs {
+		if !*csv {
+			fmt.Printf("%6d", p)
+		}
+		for _, t := range tops {
+			res, err := dessim.Simulate(trace, model, p, t)
+			if err != nil {
+				fatal(err)
+			}
+			if *csv {
+				fmt.Printf("%d,%d,%.2f,%.4f,%.4f\n", p, t, res.Speedup, res.WallSeconds, res.SeqSeconds)
+			} else {
+				fmt.Printf(" %9.1f", res.Speedup)
+			}
+		}
+		if !*csv {
+			fmt.Println()
+		}
+	}
+	if !*csv {
+		fmt.Println("\n(paper, 128 procs on titin: 831x for 1 top alignment, 500x for 100)")
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	prev := 0
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("figure8: bad integer %q", p)
+		}
+		if n <= prev {
+			return nil, fmt.Errorf("figure8: values must be increasing")
+		}
+		prev = n
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figure8:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1,2, 5,100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[3] != 100 {
+		t.Errorf("parseInts = %v", got)
+	}
+	for _, bad := range []string{"", "x", "5,3", "0", "2,2"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command repromaster runs the master rank of a distributed repeats
+// computation over TCP (Section 4.3 of the paper). It listens until the
+// expected number of reproworker processes connect, farms out alignment
+// tasks, performs acceptances and tracebacks, and prints the resulting
+// top alignments.
+//
+//	repromaster -addr :7946 -slaves 2 -titin 2000 -tops 25
+//	reproworker -addr host:7946 -threads 2   (on each worker machine)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/repeats"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+	"repro/internal/topalign"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7946", "listen address")
+		slaves   = flag.Int("slaves", 1, "number of reproworker processes to wait for")
+		inPath   = flag.String("in", "", "FASTA input (first record is analysed)")
+		titinLen = flag.Int("titin", 0, "analyse a synthetic titin-like protein of this length")
+		matrix   = flag.String("matrix", "BLOSUM62", "exchange matrix name")
+		tops     = flag.Int("tops", 25, "number of top alignments")
+		lanes    = flag.Int("lanes", 0, "SIMD-style group lanes (0, 4, 8)")
+		spec     = flag.Bool("speculative", true, "speculative acceptance (paper mode)")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "worker connection timeout")
+	)
+	flag.Parse()
+
+	exch, ok := scoring.ByName(*matrix)
+	if !ok {
+		fatal(fmt.Errorf("unknown matrix %q", *matrix))
+	}
+
+	var q *seq.Sequence
+	switch {
+	case *titinLen > 0:
+		q = seq.SyntheticTitin(*titinLen, 1)
+	case *inPath != "":
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		recs, err := seq.ReadFASTA(f, exch.Alphabet())
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		q = recs[0]
+	default:
+		fatal(fmt.Errorf("need -in or -titin"))
+	}
+
+	fmt.Fprintf(os.Stderr, "repromaster: waiting for %d workers on %s...\n", *slaves, *addr)
+	comm, err := mpi.ListenTCP(*addr, *slaves+1, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+	defer comm.Close()
+	fmt.Fprintf(os.Stderr, "repromaster: %d workers connected, analysing %s (%d residues)\n",
+		*slaves, q.ID, q.Len())
+
+	cfg := cluster.Config{
+		Top: topalign.Config{
+			Params:     align.Params{Exch: exch, Gap: scoring.DefaultProteinGap},
+			NumTops:    *tops,
+			GroupLanes: *lanes,
+		},
+		Speculative: *spec,
+	}
+	t0 := time.Now()
+	res, err := cluster.RunMaster(comm, q.Codes, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "repromaster: %d top alignments in %.2fs\n",
+		len(res.Tops), time.Since(t0).Seconds())
+
+	for _, top := range res.Tops {
+		first, last := top.Pairs[0], top.Pairs[len(top.Pairs)-1]
+		fmt.Printf("top %2d: score %6d split %5d  [%d-%d] ~ [%d-%d]\n",
+			top.Index, top.Score, top.Split, first.I, last.I, first.J, last.J)
+	}
+	fams, err := repeats.Delineate(q.Len(), res.Tops, repeats.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	for i, fam := range fams {
+		fmt.Printf("family %d: %d copies, unit ~%d\n", i+1, len(fam.Copies), fam.UnitLen())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repromaster:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Command reproworker runs one slave rank of a distributed repeats
+// computation: it connects to a repromaster, receives the sequence and
+// scoring configuration, and serves alignment tasks with the requested
+// number of worker threads (one process per SMP node, one thread per
+// CPU, as in the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7946", "repromaster address")
+		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
+		timeout = flag.Duration("timeout", time.Minute, "connection timeout")
+	)
+	flag.Parse()
+
+	// Retry until the master is up (workers are typically launched
+	// before or alongside the master).
+	var comm mpi.Comm
+	var err error
+	deadline := time.Now().Add(*timeout)
+	for {
+		comm, err = mpi.DialTCP(*addr, *timeout)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatal(err)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	defer comm.Close()
+	fmt.Fprintf(os.Stderr, "reproworker: connected as rank %d of %d, %d threads\n",
+		comm.Rank(), comm.Size(), *threads)
+	if err := cluster.RunSlave(comm, *threads); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "reproworker: done")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reproworker:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseLengths(t *testing.T) {
+	got, err := parseLengths("200, 300,400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 200 || got[2] != 400 {
+		t.Errorf("parseLengths = %v", got)
+	}
+	for _, bad := range []string{"", "abc", "200,100", "200,200", "5", "200,"} {
+		if _, err := parseLengths(bad); err == nil {
+			t.Errorf("parseLengths(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+// The paper's Figure 4: the three nonoverlapping top alignments of
+// ATGCATGCATGC under the example scoring of Section 2.
+func ExampleAnalyze() {
+	report, err := repro.Analyze("fig4", "ATGCATGCATGC", repro.Options{
+		Matrix:  "paper-dna",
+		GapOpen: 2, GapExt: 1,
+		NumTops: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, top := range report.Tops {
+		first := top.Pairs[0]
+		last := top.Pairs[len(top.Pairs)-1]
+		fmt.Printf("top %d: score %d, %d-%d ~ %d-%d\n",
+			top.Index, top.Score, first.I, last.I, first.J, last.J)
+	}
+	fam := report.Families[0]
+	fmt.Printf("family: %d copies of %s\n", len(fam.Copies), fam.Consensus)
+	// Output:
+	// top 1: score 8, 1-4 ~ 5-8
+	// top 2: score 8, 1-4 ~ 9-12
+	// top 3: score 8, 5-8 ~ 9-12
+	// family: 3 copies of ATGC
+}
+
+// Analysing FASTA input end to end.
+func ExampleAnalyzeFASTA() {
+	fasta := ">unit tandem of GATTACA\nGATTACAGATTACAGATTACA\n"
+	reports, err := repro.AnalyzeFASTA(strings.NewReader(fasta), repro.Options{
+		Matrix:  "dna-unit",
+		NumTops: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := reports[0]
+	fmt.Printf("%s: %d residues, %d top alignments\n", rep.SeqID, rep.SeqLen, len(rep.Tops))
+	fmt.Printf("best family unit length: %d\n", rep.Families[0].UnitLen)
+	// Output:
+	// unit: 21 residues, 3 top alignments
+	// best family unit length: 7
+}
+
+// Rendering an alignment residue by residue, as the paper prints its
+// examples.
+func ExampleFormatAlignment() {
+	report, err := repro.Analyze("x", "ATGCATGCATGC", repro.Options{
+		Matrix: "paper-dna", NumTops: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	block, err := repro.FormatAlignment(report.Residues, report.Tops[0], 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.WriteString(block)
+	// Output:
+	// top 1 (score 8): 1-4 aligned to 5-8
+	//   ATGC
+	//   ||||
+	//   ATGC
+}

@@ -1,0 +1,80 @@
+// DNA repeats: detect a diverged tandem repeat in a noisy DNA sequence —
+// the genomic use case of the paper's title. A synthetic minisatellite
+// (an 11-bp unit repeated 8 times with point mutations and indels,
+// buried in random flanks) is generated, analysed, and the recovered
+// copies are compared against the generator's ground truth. The example
+// also shows the AACAAC ambiguity the paper's future-work section
+// discusses: exact repeats delineate equally well at multiples of the
+// true unit.
+//
+//	go run ./examples/dnarepeats
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/seq"
+)
+
+func main() {
+	spec := seq.TandemSpec{
+		Alpha:    seq.DNA,
+		UnitLen:  11,
+		Copies:   8,
+		FlankLen: 60,
+		Profile:  seq.MutationProfile{SubstRate: 0.08, IndelRate: 0.01, IndelExt: 0.3},
+		Seed:     42,
+	}
+	q := seq.Tandem(spec)
+	fmt.Printf("synthetic minisatellite: %d bp, unit %d x %d copies at ~positions %d-%d\n",
+		q.Len(), spec.UnitLen, spec.Copies, spec.FlankLen+1, q.Len()-spec.FlankLen)
+
+	report, err := repro.Analyze(q.ID, q.String(), repro.Options{
+		Matrix:  "dna-unit",
+		NumTops: 12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%d top alignments; strongest:\n", len(report.Tops))
+	for _, top := range report.Tops[:min(4, len(report.Tops))] {
+		first, last := top.Pairs[0], top.Pairs[len(top.Pairs)-1]
+		fmt.Printf("  top %d: score %d  [%d-%d] ~ [%d-%d]\n",
+			top.Index, top.Score, first.I, last.I, first.J, last.J)
+	}
+
+	fmt.Println("\nrecovered repeat families:")
+	for i, fam := range report.Families {
+		fmt.Printf("  family %d: %d copies, unit ~%d bp\n", i+1, len(fam.Copies), fam.UnitLen)
+		for _, c := range fam.Copies {
+			fmt.Printf("    [%4d-%4d] %s\n", c.Start, c.End, q.String()[c.Start-1:c.End])
+		}
+		truth := spec.FlankLen + 1
+		if i == 0 {
+			fmt.Printf("  (ground truth: repeat region starts at %d; delineated units may span\n"+
+				"   multiples of the true %d-bp unit — the paper's AACAAC ambiguity)\n",
+				truth, spec.UnitLen)
+		}
+	}
+
+	// the paper's own miniature example
+	fmt.Println("\nthe paper's AACAACAACAAC example:")
+	rep2, err := repro.Analyze("aac", "AACAACAACAAC", repro.Options{Matrix: "paper-dna", NumTops: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fam := range rep2.Families {
+		fmt.Printf("  delineated as %d copies of a %d-bp unit ", len(fam.Copies), fam.UnitLen)
+		fmt.Println("(two AACAAC, four AAC, and eight A are all defensible — see paper Section 6)")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

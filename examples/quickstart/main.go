@@ -1,0 +1,40 @@
+// Quickstart: find the internal repeats of the paper's Figure 4
+// example sequence, ATGCATGCATGC, and print the top alignments and the
+// delineated repeat family.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	report, err := repro.Analyze("fig4", "ATGCATGCATGC", repro.Options{
+		Matrix:  "paper-dna", // match +2 / mismatch -1, the paper's toy matrix
+		GapOpen: 2,
+		GapExt:  1,
+		NumTops: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("The three nonoverlapping top alignments of Figure 4:")
+	for _, top := range report.Tops {
+		fmt.Printf("  top %d (score %d): positions", top.Index, top.Score)
+		for _, p := range top.Pairs {
+			fmt.Printf(" %d~%d", p.I, p.J)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nDelineated repeat structure:")
+	if err := repro.WriteReport(os.Stdout, report); err != nil {
+		log.Fatal(err)
+	}
+}

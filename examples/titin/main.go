@@ -1,0 +1,79 @@
+// Titin: analyse a long, domain-repetitive protein — the workload the
+// paper was built for. Human titin (34350 aa, ~300 diverged Ig/FN3
+// domains) is modelled by the seeded synthetic generator; the example
+// runs the full pipeline on a 2000-residue prefix with the shared-memory
+// parallel engine and reports the domain families it recovers along with
+// the engine statistics behind the paper's Section 3 claim (90-97% of
+// realignments avoided).
+//
+//	go run ./examples/titin [length]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"repro"
+	"repro/internal/seq"
+)
+
+func main() {
+	length := 2000
+	if len(os.Args) > 1 {
+		n, err := strconv.Atoi(os.Args[1])
+		if err != nil || n < 100 {
+			log.Fatalf("usage: titin [length>=100]; got %q", os.Args[1])
+		}
+		length = n
+	}
+
+	protein := seq.SyntheticTitin(length, 1)
+	fmt.Printf("analysing %s: %d residues of titin-like Ig/FN3 domain repeats\n",
+		protein.ID, protein.Len())
+
+	t0 := time.Now()
+	report, err := repro.Analyze(protein.ID, protein.String(), repro.Options{
+		NumTops:  30, // "some more for large sequences"
+		Workers:  4,  // shared-memory scheduler, strict (deterministic) mode
+		MinPairs: 20, // delineation: keep well-supported alignments only
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found %d top alignments in %.2fs\n\n", len(report.Tops), time.Since(t0).Seconds())
+
+	fmt.Println("strongest top alignments (domain copies aligned to each other):")
+	for _, top := range report.Tops {
+		if top.Index > 8 {
+			break
+		}
+		first, last := top.Pairs[0], top.Pairs[len(top.Pairs)-1]
+		fmt.Printf("  top %2d: score %5d  [%5d-%5d] ~ [%5d-%5d]  (%d matched residues)\n",
+			top.Index, top.Score, first.I, last.I, first.J, last.J, len(top.Pairs))
+	}
+
+	fmt.Println("\nrepeat families (putative domain arrays):")
+	for i, fam := range report.Families {
+		if i >= 5 {
+			fmt.Printf("  ... and %d more families\n", len(report.Families)-5)
+			break
+		}
+		fmt.Printf("  family %d: %d copies of a ~%d-residue unit (support %d)\n",
+			i+1, len(fam.Copies), fam.UnitLen, fam.Support)
+		for j, c := range fam.Copies {
+			if j >= 4 {
+				fmt.Printf("      ... and %d more copies\n", len(fam.Copies)-4)
+				break
+			}
+			fmt.Printf("      copy [%d-%d]\n", c.Start, c.End)
+		}
+	}
+
+	fmt.Printf("\nengine: %d alignments (%d realignments), %d cells computed\n",
+		report.Stats.Alignments, report.Stats.Realignments, report.Stats.Cells)
+	fmt.Printf("the best-first queue avoided %.1f%% of potential realignments (paper: 90-97%%)\n",
+		100*report.Stats.RealignmentReduction)
+}

@@ -1,0 +1,73 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatAlignment renders a top alignment the way the paper prints its
+// examples — two gapped residue lines with a match line between them:
+//
+//	2 TTACAGA 8
+//	  || ||.|
+//	2 TT-GC-GA 8    (positions refer to the full sequence)
+//
+// residues is the full analysed sequence (1-based positions match the
+// alignment's pairs); width wraps the block (0 = 60 columns). Matched
+// identical residues are marked '|', mismatches '.'; unaligned residues
+// between matches appear against '-' gaps.
+func FormatAlignment(residues string, top TopAlignment, width int) (string, error) {
+	if width <= 0 {
+		width = 60
+	}
+	if len(top.Pairs) == 0 {
+		return "", fmt.Errorf("repro: alignment %d has no pairs", top.Index)
+	}
+	for _, p := range top.Pairs {
+		if p.I < 1 || p.J < 1 || p.I > len(residues) || p.J > len(residues) {
+			return "", fmt.Errorf("repro: pair %v outside sequence of length %d", p, len(residues))
+		}
+	}
+
+	var line1, mid, line2 []byte
+	emit := func(a, m, b byte) {
+		line1 = append(line1, a)
+		mid = append(mid, m)
+		line2 = append(line2, b)
+	}
+	for k, p := range top.Pairs {
+		if k > 0 {
+			prev := top.Pairs[k-1]
+			// unaligned stretches between consecutive matches: residues
+			// of one side against gaps in the other
+			for i := prev.I + 1; i < p.I; i++ {
+				emit(residues[i-1], ' ', '-')
+			}
+			for j := prev.J + 1; j < p.J; j++ {
+				emit('-', ' ', residues[j-1])
+			}
+		}
+		a, b := residues[p.I-1], residues[p.J-1]
+		m := byte('.')
+		if a == b {
+			m = '|'
+		}
+		emit(a, m, b)
+	}
+
+	var sb strings.Builder
+	start, end := top.Pairs[0], top.Pairs[len(top.Pairs)-1]
+	fmt.Fprintf(&sb, "top %d (score %d): %d-%d aligned to %d-%d\n",
+		top.Index, top.Score, start.I, end.I, start.J, end.J)
+	for off := 0; off < len(line1); off += width {
+		hi := off + width
+		if hi > len(line1) {
+			hi = len(line1)
+		}
+		fmt.Fprintf(&sb, "  %s\n  %s\n  %s\n", line1[off:hi], mid[off:hi], line2[off:hi])
+		if hi < len(line1) {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String(), nil
+}

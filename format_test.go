@@ -1,0 +1,82 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatAlignmentFigure2Style(t *testing.T) {
+	// the paper's Figure 2 example rendered from its traceback pairs:
+	// CTTACAGA x ATTGCGA has best alignment TTACAGA / TT-GC-GA.
+	// Expressed over the single concatenated sequence used here, take
+	// the Figure 4 sequence instead: ATGC aligned to ATGC at lag 4.
+	rep, err := Analyze("fig4", "ATGCATGCATGC", Options{Matrix: "paper-dna", NumTops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := FormatAlignment("ATGCATGCATGC", rep.Tops[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ATGC", "||||", "1-4 aligned to 5-8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted alignment missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatAlignmentWithGapsAndMismatches(t *testing.T) {
+	top := TopAlignment{
+		Index: 1, Score: 9,
+		// matches at (1,6) (2,7), then I skips 3, J skips 8, match (4,9)
+		Pairs: []Pair{{1, 6}, {2, 7}, {4, 9}},
+	}
+	//           123456789
+	residues := "ABXDQABCB"
+	out, err := FormatAlignment(residues, top, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	top1, mid, bot := strings.TrimPrefix(lines[1], "  "), strings.TrimPrefix(lines[2], "  "), strings.TrimPrefix(lines[3], "  ")
+	// A-A match, B-B match, X vs gap, gap vs C (J skip 8), D-B mismatch
+	if top1 != "ABX-D" {
+		t.Errorf("line1 = %q, want ABX-D", top1)
+	}
+	if bot != "AB-CB" {
+		t.Errorf("line2 = %q, want AB-CB", bot)
+	}
+	if mid != "||  ." {
+		t.Errorf("mid = %q, want %q", mid, "||  .")
+	}
+}
+
+func TestFormatAlignmentWrapping(t *testing.T) {
+	pairs := make([]Pair, 30)
+	for i := range pairs {
+		pairs[i] = Pair{I: i + 1, J: i + 41}
+	}
+	top := TopAlignment{Index: 2, Score: 60, Pairs: pairs}
+	residues := strings.Repeat("A", 80)
+	out, err := FormatAlignment(residues, top, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 columns at width 10 -> 3 blocks of 3 lines + header + separators
+	if got := strings.Count(out, "||||||||||"); got != 3 {
+		t.Errorf("expected 3 full match blocks, got %d:\n%s", got, out)
+	}
+}
+
+func TestFormatAlignmentErrors(t *testing.T) {
+	if _, err := FormatAlignment("ACGT", TopAlignment{}, 0); err == nil {
+		t.Error("empty alignment accepted")
+	}
+	bad := TopAlignment{Pairs: []Pair{{1, 99}}}
+	if _, err := FormatAlignment("ACGT", bad, 0); err == nil {
+		t.Error("out-of-range pair accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package align
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/scoring"
+	"repro/internal/seq"
+)
+
+// Property: every bottom-row value is non-negative and bounded by the
+// best possible chain of matches (min(len1,len2) * max exchange score).
+func TestScoreBoundsProperty(t *testing.T) {
+	p := Params{Exch: scoring.BLOSUM62, Gap: scoring.DefaultProteinGap}
+	maxE := p.Exch.MaxScore()
+	f := func(seed uint64, a, b uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 1))
+		len1, len2 := 1+int(a)%60, 1+int(b)%60
+		s1, s2 := randCodes(r, len1), randCodes(r, len2)
+		row := Score(p, s1, s2)
+		bound := int32(min(len1, len2)) * maxE
+		for _, v := range row {
+			if v < 0 || v > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: appending a residue to the horizontal sequence adds one
+// bottom-row column and leaves the existing columns unchanged, so the
+// split score is monotone in suffix extension.
+func TestScoreSuffixExtensionProperty(t *testing.T) {
+	p := Params{Exch: scoring.BLOSUM62, Gap: scoring.DefaultProteinGap}
+	f := func(seed uint64, a, b uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 2))
+		len1, len2 := 1+int(a)%40, 1+int(b)%40
+		s1, s2 := randCodes(r, len1), randCodes(r, len2+1)
+		short := Score(p, s1, s2[:len2])
+		long := Score(p, s1, s2)
+		for i := range short {
+			if short[i] != long[i] {
+				return false
+			}
+		}
+		return MaxRowScore(long) >= MaxRowScore(short)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: aligning a sequence against an exact copy of itself scores
+// exactly the sum of its self-exchange values (the full diagonal, no
+// gaps), and that alignment ends in the last column.
+func TestPerfectSelfAlignment(t *testing.T) {
+	p := Params{Exch: scoring.BLOSUM62, Gap: scoring.DefaultProteinGap}
+	f := func(seed uint64, a uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 3))
+		n := 1 + int(a)%50
+		s := randCodes(r, n)
+		var want int32
+		for _, c := range s {
+			want += p.Exch.Score(c, c)
+		}
+		row := Score(p, s, s)
+		// the perfect diagonal ends at the last column; a longer local
+		// path cannot beat it since every self-score is the row maximum
+		return row[n-1] >= want && MaxRowScore(row) >= want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all kernels agree on random inputs (the fuzz version of the
+// fixed-case equivalence tests).
+func TestKernelEquivalenceProperty(t *testing.T) {
+	p := Params{Exch: scoring.PAM250, Gap: scoring.Gap{Open: 6, Ext: 2}}
+	f := func(seed uint64, a, b, w uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 4))
+		len1, len2 := 1+int(a)%32, 1+int(b)%32
+		s1, s2 := randCodes(r, len1), randCodes(r, len2)
+		want := ScoreNaive(p, s1, s2, nil, 0)
+		got1 := Score(p, s1, s2)
+		got2 := ScoreStriped(p, s1, s2, nil, 0, 1+int(w)%10)
+		for i := range want {
+			if got1[i] != want[i] || got2[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: traceback reconstructs a path whose recomputed score always
+// equals the matrix score it started from.
+func TestTracebackScoreProperty(t *testing.T) {
+	p := Params{Exch: scoring.BLOSUM62, Gap: scoring.DefaultProteinGap}
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 5))
+		s := seq.SyntheticTitin(40+int(seed%40), seed).Codes
+		split := 10 + r.IntN(len(s)-20)
+		s1, s2 := s[:split], s[split:]
+		m := Matrix(p, s1, s2, nil, split)
+		endX, score, _ := BestValidEnd(m[len(s1)][1:], nil)
+		if endX == 0 {
+			return true
+		}
+		al, err := Traceback(p, m, s1, s2, nil, split, endX)
+		if err != nil {
+			return false
+		}
+		return al.Score == score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randCodes(r *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r.IntN(20))
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package align
+
+import "repro/internal/triangle"
+
+// DefaultStripeWidth is sized so that the stripe's working set (current
+// row section, MaxY section, and exchange row) stays within a third of a
+// typical 32 KiB L1 data cache, per Section 4.1 of the paper ("we compute
+// a section of the row that fits in a third of the first-level cache").
+const DefaultStripeWidth = 2048
+
+// ScoreStriped computes the same bottom row as ScoreMasked but walks the
+// matrix in vertical stripes of the given width: all rows of a stripe of
+// columns are computed before moving to the next stripe. The per-stripe
+// working set fits in first-level cache, which is the paper's
+// cache-awareness optimisation. Boundary state (the diagonal value and
+// the horizontal-gap running maximum at the stripe's left edge) is
+// carried between stripes in O(len(s1)) memory.
+//
+// width <= 0 selects DefaultStripeWidth. tri may be nil.
+func ScoreStriped(p Params, s1, s2 []byte, tri *triangle.Triangle, r, width int) []int32 {
+	if width <= 0 {
+		width = DefaultStripeWidth
+	}
+	len1, len2 := len(s1), len(s2)
+	bottom := make([]int32, len2)
+	if len1 == 0 || len2 == 0 {
+		return bottom
+	}
+	if len2 <= width {
+		return score(p, s1, s2, tri, r)
+	}
+
+	open, ext := p.Gap.Open, p.Gap.Ext
+
+	// Carried across stripes, indexed by row y (1-based):
+	//   edgeM[y]    = M[y][x0-1], the column just left of the next stripe
+	//   edgeMaxX[y] = the horizontal running maximum after processing
+	//                 column x0-1 of row y
+	edgeM := make([]int32, len1+1)
+	edgeMaxX := make([]int32, len1+1)
+	for y := range edgeMaxX {
+		edgeMaxX[y] = negInf
+	}
+
+	prev := make([]int32, width+1)
+	cur := make([]int32, width+1)
+	maxY := make([]int32, width+1)
+
+	for x0 := 1; x0 <= len2; x0 += width {
+		x1 := x0 + width - 1
+		if x1 > len2 {
+			x1 = len2
+		}
+		w := x1 - x0 + 1
+		for i := 0; i <= w; i++ {
+			prev[i] = 0
+			maxY[i] = negInf
+		}
+		for y := 1; y <= len1; y++ {
+			row := p.Exch.Row(s1[y-1])
+			maxX := edgeMaxX[y]
+			// prev[0] must be M[y-1][x0-1]; cur[0] is M[y][x0-1]
+			prev[0] = edgeM[y-1]
+			cur[0] = edgeM[y]
+			base := 0
+			masked := false
+			if tri != nil {
+				base = maskBase(tri, r, y) + (x0 - 1)
+				masked = !tri.RowEmpty(base, w)
+			}
+			for i := 1; i <= w; i++ {
+				x := x0 + i - 1
+				d := prev[i-1]
+				var v int32
+				if masked && tri.GetAt(base+i-1) {
+					v = 0
+				} else {
+					best := d
+					if maxX > best {
+						best = maxX
+					}
+					if my := maxY[i]; my > best {
+						best = my
+					}
+					v = best + int32(row[s2[x-1]])
+					if v < 0 {
+						v = 0
+					}
+				}
+				cur[i] = v
+				g := d - open
+				h := g
+				if maxX > h {
+					h = maxX
+				}
+				maxX = h - ext
+				if my := maxY[i]; my > g {
+					g = my
+				}
+				maxY[i] = g - ext
+			}
+			// save the stripe's right edge for the next stripe
+			edgeM[y-1] = prev[w]
+			if y == len1 {
+				edgeM[y] = cur[w]
+			}
+			edgeMaxX[y] = maxX
+			prev, cur = cur, prev
+		}
+		copy(bottom[x0-1:x1], prev[1:w+1])
+	}
+	return bottom
+}

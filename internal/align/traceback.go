@@ -1,0 +1,165 @@
+package align
+
+import (
+	"fmt"
+
+	"repro/internal/triangle"
+)
+
+// Matrix computes the full alignment matrix (Gotoh recurrence, optional
+// override masking) with rows 0..len(s1) and columns 0..len(s2); row and
+// column 0 are the zero boundary. It is used only for tracebacks of
+// accepted top alignments — score-only paths use the linear-memory
+// kernels. tri may be nil.
+func Matrix(p Params, s1, s2 []byte, tri *triangle.Triangle, r int) [][]int32 {
+	len1, len2 := len(s1), len(s2)
+	m := make([][]int32, len1+1)
+	flat := make([]int32, (len1+1)*(len2+1))
+	for y := range m {
+		m[y] = flat[y*(len2+1) : (y+1)*(len2+1)]
+	}
+	if len1 == 0 || len2 == 0 {
+		return m
+	}
+	maxY := make([]int32, len2+1)
+	for i := range maxY {
+		maxY[i] = negInf
+	}
+	open, ext := p.Gap.Open, p.Gap.Ext
+	for y := 1; y <= len1; y++ {
+		row := p.Exch.Row(s1[y-1])
+		maxX := int32(negInf)
+		base := 0
+		if tri != nil {
+			base = maskBase(tri, r, y)
+		}
+		prev, cur := m[y-1], m[y]
+		for x := 1; x <= len2; x++ {
+			d := prev[x-1]
+			var v int32
+			if tri != nil && tri.GetAt(base+x-1) {
+				v = 0
+			} else {
+				best := d
+				if maxX > best {
+					best = maxX
+				}
+				if my := maxY[x]; my > best {
+					best = my
+				}
+				v = best + int32(row[s2[x-1]])
+				if v < 0 {
+					v = 0
+				}
+			}
+			cur[x] = v
+			g := d - open
+			h := g
+			if maxX > h {
+				h = maxX
+			}
+			maxX = h - ext
+			if my := maxY[x]; my > g {
+				g = my
+			}
+			maxY[x] = g - ext
+		}
+	}
+	return m
+}
+
+// Traceback reconstructs the alignment ending at bottom-row column endX
+// (1-based) from a full matrix produced by Matrix (or NaiveMatrix) with
+// the same parameters and mask. It returns the matched pairs in path
+// order. The end cell must be positive.
+//
+// Predecessors are rediscovered from the stored M values: the diagonal
+// first, then horizontal gaps by increasing length, then vertical gaps —
+// a deterministic tie order, so equal-scoring reconstructions are stable.
+func Traceback(p Params, m [][]int32, s1, s2 []byte, tri *triangle.Triangle, r, endX int) (Alignment, error) {
+	len1 := len(s1)
+	if len1 == 0 || endX < 1 || endX > len(s2) {
+		return Alignment{}, fmt.Errorf("align: traceback end column %d out of range", endX)
+	}
+	y, x := len1, endX
+	score := m[y][x]
+	if score <= 0 {
+		return Alignment{}, fmt.Errorf("align: traceback from non-positive cell (%d,%d)=%d", y, x, score)
+	}
+	open, ext := p.Gap.Open, p.Gap.Ext
+	var rev []Pair
+	for {
+		v := m[y][x]
+		rev = append(rev, Pair{Y: y, X: x})
+		var e int32
+		if tri != nil && tri.GetAt(maskBase(tri, r, y)+x-1) {
+			return Alignment{}, fmt.Errorf("align: traceback crossed overridden cell (%d,%d)", y, x)
+		}
+		e = p.Exch.Score(s1[y-1], s2[x-1])
+		best := v - e
+		if best == 0 {
+			break // fresh local start
+		}
+		// diagonal predecessor
+		if m[y-1][x-1] == best {
+			y, x = y-1, x-1
+			if y == 0 || x == 0 {
+				break
+			}
+			if m[y][x] == 0 {
+				break
+			}
+			continue
+		}
+		// horizontal gap of length k
+		moved := false
+		for k := 1; x-1-k >= 0; k++ {
+			if m[y-1][x-1-k]-open-int32(k)*ext == best && m[y-1][x-1-k] > 0 {
+				y, x = y-1, x-1-k
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			// vertical gap of length k
+			for k := 1; y-1-k >= 0; k++ {
+				if m[y-1-k][x-1]-open-int32(k)*ext == best && m[y-1-k][x-1] > 0 {
+					y, x = y-1-k, x-1
+					moved = true
+					break
+				}
+			}
+		}
+		if !moved {
+			return Alignment{}, fmt.Errorf("align: no predecessor found at (%d,%d)=%d", y, x, v)
+		}
+	}
+	// reverse into path order
+	pairs := make([]Pair, len(rev))
+	for i, pr := range rev {
+		pairs[len(rev)-1-i] = pr
+	}
+	return Alignment{Score: score, Pairs: pairs}, nil
+}
+
+// BestValidEnd returns the 1-based column of the maximum entry in bottom
+// among the valid ending positions, together with that score. When orig
+// is non-nil (a realignment), a column is valid only if its value equals
+// the original first-alignment value — the shadow-rejection rule of
+// Appendix A. Rejected counts the positive cells skipped as shadows.
+// If no valid positive cell exists, endX is 0 and score 0.
+func BestValidEnd(bottom, orig []int32) (endX int, score int32, rejected int64) {
+	for i, v := range bottom {
+		if v <= 0 {
+			continue
+		}
+		if orig != nil && orig[i] != v {
+			rejected++
+			continue
+		}
+		if v > score {
+			score, endX = v, i+1
+		}
+	}
+	return endX, score, rejected
+}

@@ -1,0 +1,319 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/mpi"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+	"repro/internal/topalign"
+)
+
+var proteinParams = align.Params{Exch: scoring.BLOSUM62, Gap: scoring.DefaultProteinGap}
+
+func topCfg(tops int) topalign.Config {
+	return topalign.Config{Params: proteinParams, NumTops: tops}
+}
+
+// Strict-mode cluster runs must be bit-identical to the sequential
+// algorithm, for various cluster shapes.
+func TestClusterStrictMatchesSequential(t *testing.T) {
+	q := seq.SyntheticTitin(150, 3)
+	want, err := topalign.Find(q.Codes, topCfg(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []LocalSpec{
+		{Slaves: 1, ThreadsPerSlave: 1},
+		{Slaves: 1, ThreadsPerSlave: 2},
+		{Slaves: 3, ThreadsPerSlave: 1},
+		{Slaves: 4, ThreadsPerSlave: 2},
+	} {
+		got, err := RunLocal(q.Codes, Config{Top: topCfg(6)}, spec)
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		assertSameTops(t, got.Tops, want.Tops)
+	}
+}
+
+func TestClusterGroupMode(t *testing.T) {
+	q := seq.SyntheticTitin(120, 5)
+	cfg := topalign.Config{Params: proteinParams, NumTops: 5, GroupLanes: 4}
+	want, err := topalign.Find(q.Codes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunLocal(q.Codes, Config{Top: cfg}, LocalSpec{Slaves: 2, ThreadsPerSlave: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTops(t, got.Tops, want.Tops)
+}
+
+func TestClusterSpeculativeInvariants(t *testing.T) {
+	q := seq.SyntheticTitin(160, 7)
+	res, err := RunLocal(q.Codes, Config{Top: topCfg(8), Speculative: true},
+		LocalSpec{Slaves: 3, ThreadsPerSlave: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tops) != 8 {
+		t.Fatalf("got %d tops, want 8", len(res.Tops))
+	}
+	seen := map[topalign.Pair]bool{}
+	for _, top := range res.Tops {
+		if top.Score <= 0 {
+			t.Errorf("top %d score %d", top.Index, top.Score)
+		}
+		for _, p := range top.Pairs {
+			if seen[p] {
+				t.Fatalf("pair %v reused", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestClusterMinScore(t *testing.T) {
+	q := seq.Random(seq.Protein, 90, 2)
+	cfg := topalign.Config{Params: proteinParams, NumTops: 10, MinScore: 10000}
+	res, err := RunLocal(q.Codes, Config{Top: cfg}, LocalSpec{Slaves: 2, ThreadsPerSlave: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tops) != 0 {
+		t.Errorf("got %d tops despite impossible MinScore", len(res.Tops))
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	s := seq.DNA.MustEncode("ACGTACGT")
+	if _, err := RunLocal(s, Config{Top: topCfg(1)}, LocalSpec{Slaves: 0}); err == nil {
+		t.Error("zero slaves accepted")
+	}
+	if _, err := RunLocal(s, Config{Top: topalign.Config{}}, LocalSpec{Slaves: 1}); err == nil {
+		t.Error("invalid topalign config accepted")
+	}
+}
+
+// Failure injection: killing a slave mid-run must not lose tasks — the
+// master requeues them and the run completes on the surviving slaves
+// with correct results.
+func TestClusterSlaveDeathRecovers(t *testing.T) {
+	q := seq.SyntheticTitin(140, 9)
+	want, err := topalign.Find(q.Codes, topCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	world := mpi.NewLocal(4) // master + 3 slaves
+	var wg sync.WaitGroup
+	for i := 1; i <= 2; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer world[rank].Close()
+			RunSlave(world[rank], 1)
+		}(i)
+	}
+	// slave 3 dies after its first few jobs
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := world[3]
+		msg, err := c.Recv() // setup
+		if err != nil || msg.Tag != tagSetup {
+			c.Close()
+			return
+		}
+		c.Send(0, tagReady, nil)
+		// take one job, never answer, then die
+		for {
+			msg, err = c.Recv()
+			if err != nil {
+				return
+			}
+			if msg.Tag == tagJob {
+				c.Close()
+				return
+			}
+			if msg.Tag == tagStop {
+				c.Close()
+				return
+			}
+		}
+	}()
+
+	got, err := RunMaster(world[0], q.Codes, Config{Top: topCfg(5)})
+	world[0].Close()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTops(t, got.Tops, want.Tops)
+}
+
+// All slaves dying must produce an error, not a hang.
+func TestClusterAllSlavesDie(t *testing.T) {
+	q := seq.SyntheticTitin(60, 1)
+	world := mpi.NewLocal(2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := world[1]
+		if msg, err := c.Recv(); err != nil || msg.Tag != tagSetup {
+			c.Close()
+			return
+		}
+		c.Send(0, tagReady, nil)
+		if msg, err := c.Recv(); err == nil && msg.Tag == tagJob {
+			c.Close() // die holding the job
+			return
+		}
+		c.Close()
+	}()
+	_, err := RunMaster(world[0], q.Codes, Config{Top: topCfg(3)})
+	world[0].Close()
+	wg.Wait()
+	if err == nil {
+		t.Fatal("expected error when every slave dies")
+	}
+}
+
+// The same protocol over the TCP transport: a 3-rank world on loopback.
+func TestClusterOverTCP(t *testing.T) {
+	q := seq.SyntheticTitin(100, 4)
+	want, err := topalign.Find(q.Codes, topCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	masterCh := make(chan mpi.Comm, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		m, err := mpi.ListenTCP(addr, 3, 5*time.Second)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		masterCh <- m
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, err := mpi.DialTCP(addr, 5*time.Second)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer w.Close()
+			if err := RunSlave(w, 2); err != nil {
+				t.Errorf("slave: %v", err)
+			}
+		}()
+	}
+	var master mpi.Comm
+	select {
+	case master = <-masterCh:
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("master did not start")
+	}
+	got, err := RunMaster(master, q.Codes, Config{Top: topCfg(4)})
+	master.Close()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTops(t, got.Tops, want.Tops)
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	setup := msgSetup{Seq: []byte{1, 2, 3}, Matrix: "BLOSUM62", GapOpen: 10, GapExt: 1, MinScore: 1, Lanes: 4, Striped: true}
+	s2, err := decodeSetup(setup.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s2.Seq) != string(setup.Seq) || s2.Matrix != setup.Matrix ||
+		s2.GapOpen != 10 || s2.GapExt != 1 || s2.Lanes != 4 || !s2.Striped {
+		t.Errorf("setup round trip: %+v", s2)
+	}
+
+	job := msgJob{R: 42, First: true}
+	j2, err := decodeJob(job.encode())
+	if err != nil || j2 != job {
+		t.Errorf("job round trip: %+v, %v", j2, err)
+	}
+
+	res := msgResult{R: 7, Version: 3, First: true,
+		Scores: []int32{10, -2, 0}, Rows: [][]int32{{1, 2}, {3}, {}}}
+	r2, err := decodeResult(res.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.R != 7 || r2.Version != 3 || !r2.First || len(r2.Scores) != 3 || r2.Scores[1] != -2 ||
+		len(r2.Rows) != 3 || len(r2.Rows[0]) != 2 || r2.Rows[0][1] != 2 {
+		t.Errorf("result round trip: %+v", r2)
+	}
+
+	top := msgTop{Version: 2, PairsI: []int32{1, 2}, PairsJ: []int32{5, 6}}
+	t2, err := decodeTop(top.encode())
+	if err != nil || len(t2.PairsI) != 2 || t2.PairsJ[1] != 6 {
+		t.Errorf("top round trip: %+v, %v", t2, err)
+	}
+
+	row := msgRow{R: 9, Row: []int32{4, 5, 6}}
+	w2, err := decodeRow(row.encode())
+	if err != nil || w2.R != 9 || len(w2.Row) != 3 {
+		t.Errorf("row round trip: %+v, %v", w2, err)
+	}
+}
+
+func TestMessageDecodeErrors(t *testing.T) {
+	if _, err := decodeSetup([]byte{1, 2}); err == nil {
+		t.Error("truncated setup accepted")
+	}
+	if _, err := decodeResult([]byte{0}); err == nil {
+		t.Error("truncated result accepted")
+	}
+	bad := msgTop{Version: 1, PairsI: []int32{1}, PairsJ: []int32{2, 3}}
+	if _, err := decodeTop(bad.encode()); err == nil {
+		t.Error("mismatched pair lengths accepted")
+	}
+}
+
+func assertSameTops(t *testing.T, got, want []topalign.TopAlignment) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d tops, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Score != want[i].Score || got[i].Split != want[i].Split {
+			t.Fatalf("top %d = (split %d, score %d), want (split %d, score %d)",
+				i+1, got[i].Split, got[i].Score, want[i].Split, want[i].Score)
+		}
+		for j := range want[i].Pairs {
+			if got[i].Pairs[j] != want[i].Pairs[j] {
+				t.Fatalf("top %d pair %d differs", i+1, j)
+			}
+		}
+	}
+}

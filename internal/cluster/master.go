@@ -1,0 +1,317 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/topalign"
+)
+
+// Config controls a cluster run.
+type Config struct {
+	// Top is the algorithm configuration. Params.Exch must be one of
+	// the embedded matrices (scoring.ByName) so slaves can reconstruct
+	// it from its name.
+	Top topalign.Config
+	// Speculative selects the paper's acceptance rule (accept the head
+	// of the queue while results are still in flight). Off = strict
+	// mode, bit-identical to the sequential algorithm.
+	Speculative bool
+}
+
+// RunMaster drives a cluster computation from rank 0: it ships the
+// sequence and configuration to every slave, farms out alignment tasks,
+// accepts top alignments (including the sequential traceback, which
+// runs on the master as in the paper), and broadcasts triangle updates.
+// It returns when the requested top alignments are found or no further
+// alignment reaches MinScore.
+func RunMaster(comm mpi.Comm, s []byte, cfg Config) (*topalign.Result, error) {
+	if comm.Rank() != 0 {
+		return nil, fmt.Errorf("cluster: RunMaster called on rank %d", comm.Rank())
+	}
+	e, err := topalign.NewEngine(s, cfg.Top)
+	if err != nil {
+		return nil, err
+	}
+	m := &master{
+		comm:     comm,
+		e:        e,
+		cfg:      cfg,
+		queue:    topalign.InitialQueue(e),
+		assigned: make(map[int]map[int]*topalign.Task),
+		live:     make(map[int]bool),
+	}
+	return m.run(s)
+}
+
+type master struct {
+	comm     mpi.Comm
+	e        *topalign.Engine
+	cfg      Config
+	queue    *topalign.TaskQueue
+	assigned map[int]map[int]*topalign.Task // slave rank -> task R -> task
+	slots    []int                          // idle worker slots (slave ranks, FIFO)
+	inflight int
+	live     map[int]bool
+	done     bool
+}
+
+func (m *master) run(s []byte) (*topalign.Result, error) {
+	cfg := m.e.Config()
+	setup := msgSetup{
+		Seq:      s,
+		Matrix:   cfg.Params.Exch.Name(),
+		GapOpen:  cfg.Params.Gap.Open,
+		GapExt:   cfg.Params.Gap.Ext,
+		MinScore: cfg.MinScore,
+		Lanes:    uint8(cfg.GroupLanes),
+		Striped:  cfg.Striped,
+	}.encode()
+	for rank := 1; rank < m.comm.Size(); rank++ {
+		if err := m.comm.Send(rank, tagSetup, setup); err != nil {
+			return nil, fmt.Errorf("cluster: setup to rank %d: %w", rank, err)
+		}
+		m.live[rank] = true
+		m.assigned[rank] = make(map[int]*topalign.Task)
+	}
+
+	for !m.done {
+		msg, err := m.comm.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: master recv: %w", err)
+		}
+		if err := m.handle(msg); err != nil {
+			m.broadcast(tagStop, nil)
+			return nil, err
+		}
+	}
+	m.broadcast(tagStop, nil)
+	return &topalign.Result{
+		SeqLen: m.e.Len(),
+		Tops:   m.e.Tops(),
+		Stats:  m.e.Config().Counters.Snapshot(),
+	}, nil
+}
+
+func (m *master) handle(msg mpi.Message) error {
+	switch msg.Tag {
+	case tagReady:
+		m.slots = append(m.slots, msg.From)
+	case tagResult:
+		res, err := decodeResult(msg.Data)
+		if err != nil {
+			return err
+		}
+		if err := m.handleResult(msg.From, res); err != nil {
+			return err
+		}
+		m.slots = append(m.slots, msg.From)
+	case tagRowReq:
+		req, err := decodeRow(msg.Data) // msgRow with empty Row doubles as request
+		if err != nil {
+			return err
+		}
+		row, ok := m.e.OrigRows().Get(int(req.R))
+		if !ok {
+			return fmt.Errorf("cluster: slave %d requested unknown row %d", msg.From, req.R)
+		}
+		return m.comm.Send(msg.From, tagRow, msgRow{R: req.R, Row: row}.encode())
+	case tagRefused:
+		return fmt.Errorf("cluster: slave %d refused setup: %s", msg.From, msg.Data)
+	case mpi.TagDown:
+		m.handleDown(msg.From)
+		if len(m.live) == 0 && !m.done {
+			return fmt.Errorf("cluster: all slaves died with %d of %d top alignments found",
+				m.e.NumTopsFound(), m.e.Config().NumTops)
+		}
+	default:
+		return fmt.Errorf("cluster: master got unexpected tag %d from %d", msg.Tag, msg.From)
+	}
+	if err := m.tryAccept(); err != nil {
+		return err
+	}
+	m.pump()
+	m.checkTermination()
+	return nil
+}
+
+// handleResult folds a slave's result back into the queue.
+func (m *master) handleResult(from int, res msgResult) error {
+	t := m.assigned[from][int(res.R)]
+	if t == nil {
+		// A task requeued after this slave was presumed dead, or a
+		// duplicate: ignore.
+		return nil
+	}
+	delete(m.assigned[from], int(res.R))
+	m.inflight--
+
+	if res.First {
+		// Store the original rows (one per member in group mode).
+		mlen := m.e.Len()
+		for i, row := range res.Rows {
+			r := int(res.R) + i
+			if r > mlen-1 {
+				return fmt.Errorf("cluster: first-result row for invalid split %d", r)
+			}
+			if len(row) != mlen-r {
+				return fmt.Errorf("cluster: first-result row for split %d has %d entries, want %d",
+					r, len(row), mlen-r)
+			}
+			m.e.OrigRows().Put(r, row)
+		}
+		res.Version = 0
+	}
+	if len(res.Scores) == 0 {
+		return fmt.Errorf("cluster: result for task %d has no scores", res.R)
+	}
+	// The alignments ran on the slave; account for them here so cluster
+	// runs report the same statistics as the local engines.
+	mlen := m.e.Len()
+	for i := range res.Scores {
+		r := int(res.R) + i
+		if r > mlen-1 {
+			break
+		}
+		m.e.Config().Counters.AddAlignment(int64(r)*int64(mlen-r), !res.First)
+	}
+	if m.e.Config().GroupLanes > 1 {
+		t.MemberScores = res.Scores
+	}
+	t.Score = maxI32(res.Scores)
+	t.AlignedWith = int(res.Version)
+	m.queue.Push(t)
+	return nil
+}
+
+// handleDown requeues everything a dead slave was working on.
+func (m *master) handleDown(rank int) {
+	if !m.live[rank] {
+		return
+	}
+	delete(m.live, rank)
+	for _, t := range m.assigned[rank] {
+		m.queue.Push(t) // unchanged: still a valid (stale) upper bound
+		m.inflight--
+	}
+	m.assigned[rank] = make(map[int]*topalign.Task)
+	// drop the dead slave's idle slots
+	keep := m.slots[:0]
+	for _, s := range m.slots {
+		if s != rank {
+			keep = append(keep, s)
+		}
+	}
+	m.slots = keep
+}
+
+// tryAccept accepts top alignments while the queue head is current (and,
+// in strict mode, nothing is in flight).
+func (m *master) tryAccept() error {
+	for !m.done {
+		head := m.queue.Peek()
+		if head == nil {
+			return nil
+		}
+		if head.Score != topalign.Infinity && head.Score < m.e.Config().MinScore {
+			return nil
+		}
+		if head.AlignedWith != m.e.NumTopsFound() {
+			return nil
+		}
+		if !m.cfg.Speculative && m.inflight > 0 {
+			return nil
+		}
+		t := m.queue.Pop()
+		top, err := topalign.Accept(m.e, t)
+		if err != nil {
+			return err
+		}
+		m.queue.Push(t)
+		upd := msgTop{Version: int32(m.e.NumTopsFound())}
+		upd.PairsI = make([]int32, len(top.Pairs))
+		upd.PairsJ = make([]int32, len(top.Pairs))
+		for i, p := range top.Pairs {
+			upd.PairsI[i] = int32(p.I)
+			upd.PairsJ[i] = int32(p.J)
+		}
+		m.broadcast(tagTop, upd.encode())
+		if m.e.NumTopsFound() >= m.e.Config().NumTops {
+			m.done = true
+		}
+	}
+	return nil
+}
+
+// pump hands stale tasks to idle worker slots in priority order.
+func (m *master) pump() {
+	for !m.done && len(m.slots) > 0 {
+		head := m.queue.Peek()
+		if head == nil {
+			return
+		}
+		if head.AlignedWith == m.e.NumTopsFound() {
+			return // acceptance candidate, not work
+		}
+		if head.Score != topalign.Infinity && head.Score < m.e.Config().MinScore {
+			return
+		}
+		slave := m.slots[0]
+		if !m.live[slave] {
+			m.slots = m.slots[1:]
+			continue
+		}
+		t := m.queue.Pop()
+		job := msgJob{R: int32(t.R), First: t.AlignedWith < 0}
+		if err := m.comm.Send(slave, tagJob, job.encode()); err != nil {
+			// treat as dead; the TagDown will follow, but requeue now
+			m.queue.Push(t)
+			m.handleDown(slave)
+			continue
+		}
+		m.slots = m.slots[1:]
+		m.assigned[slave][t.R] = t
+		m.inflight++
+	}
+}
+
+// checkTermination stops the run when no further top alignment can be
+// produced: the queue is drained or capped below MinScore with nothing
+// in flight.
+func (m *master) checkTermination() {
+	if m.done || m.inflight > 0 {
+		return
+	}
+	head := m.queue.Peek()
+	if head == nil {
+		m.done = true
+		return
+	}
+	if head.Score != topalign.Infinity && head.Score < m.e.Config().MinScore {
+		// The best possible remaining alignment is below threshold —
+		// even a current head cannot be accepted, so the run is over.
+		m.done = true
+		return
+	}
+	// A current head above threshold is tryAccept's job (it ran just
+	// before this check and accepted everything acceptable).
+	// A stale head with nothing in flight and no free slots cannot
+	// happen: results free slots before this check runs.
+}
+
+func (m *master) broadcast(tag mpi.Tag, data []byte) {
+	for rank := range m.live {
+		// best effort; a failed send surfaces as TagDown later
+		_ = m.comm.Send(rank, tag, data)
+	}
+}
+
+func maxI32(vs []int32) int32 {
+	best := int32(0)
+	for _, v := range vs {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

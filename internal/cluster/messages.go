@@ -1,0 +1,246 @@
+// Package cluster implements the distributed-memory level of the
+// paper's parallelisation (Section 4.3) on top of the mpi runtime:
+// rank 0 is a sacrificed master that owns the task queue, the override
+// triangle, and the original-bottom-row store; the other ranks are
+// slaves that realign splits against a local triangle replica, caching
+// original rows fetched from the master on demand. Each slave process
+// may run several worker threads sharing its replica and row cache — the
+// paper's "cluster of SMPs" configuration.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Protocol tags.
+const (
+	tagSetup   mpi.Tag = 1 // master -> slave: sequence + scoring config
+	tagReady   mpi.Tag = 2 // slave -> master: one worker slot is idle
+	tagJob     mpi.Tag = 3 // master -> slave: align a split (or group)
+	tagResult  mpi.Tag = 4 // slave -> master: scores (+ rows when first)
+	tagTop     mpi.Tag = 5 // master -> slaves: new top alignment's pairs
+	tagRowReq  mpi.Tag = 6 // slave -> master: need original row for r
+	tagRow     mpi.Tag = 7 // master -> slave: original row for r
+	tagStop    mpi.Tag = 8 // master -> slaves: shut down
+	tagRefused mpi.Tag = 9 // slave -> master: setup rejected (bad config)
+)
+
+// msgSetup carries everything a slave needs to start working.
+type msgSetup struct {
+	Seq      []byte
+	Matrix   string // embedded exchange-matrix name (scoring.ByName)
+	GapOpen  int32
+	GapExt   int32
+	MinScore int32
+	Lanes    uint8 // 1, 4, or 8
+	Striped  bool
+}
+
+// msgJob assigns one task. R is the split (scalar) or the group's first
+// split (group mode). First marks a task that has never been aligned:
+// the slave must align against the empty triangle and return the bottom
+// row(s) for the master's row store.
+type msgJob struct {
+	R     int32
+	First bool
+}
+
+// msgResult reports a completed task. Version is the replica version the
+// scores are exact for (0 for first alignments). Scores has one entry in
+// scalar mode, Lanes entries in group mode. Rows is non-nil only for
+// first alignments: the original bottom row per member.
+type msgResult struct {
+	R       int32
+	Version int32
+	First   bool
+	Scores  []int32
+	Rows    [][]int32
+}
+
+// msgTop broadcasts an accepted top alignment: the replica version it
+// creates and the matched pairs to mark.
+type msgTop struct {
+	Version int32
+	PairsI  []int32
+	PairsJ  []int32
+}
+
+// msgRow answers a row request.
+type msgRow struct {
+	R   int32
+	Row []int32
+}
+
+// --- encoding helpers (little-endian, length-prefixed slices) ---
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendI32s(b []byte, vs []int32) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendU32(b, uint32(v))
+	}
+	return b
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.b) {
+		r.err = fmt.Errorf("cluster: truncated message at offset %d", r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) i32() int32 { return int32(r.u32()) }
+
+func (r *reader) i32s() []int32 {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+4*n > len(r.b) {
+		r.err = fmt.Errorf("cluster: slice length %d exceeds message", n)
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = r.i32()
+	}
+	return out
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.err = fmt.Errorf("cluster: byte slice length %d exceeds message", n)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:r.off+n])
+	r.off += n
+	return out
+}
+
+func (r *reader) bool() bool { return r.u32() != 0 }
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return appendU32(b, 1)
+	}
+	return appendU32(b, 0)
+}
+
+func appendBytes(b, data []byte) []byte {
+	b = appendU32(b, uint32(len(data)))
+	return append(b, data...)
+}
+
+func (m msgSetup) encode() []byte {
+	b := appendBytes(nil, m.Seq)
+	b = appendBytes(b, []byte(m.Matrix))
+	b = appendU32(b, uint32(m.GapOpen))
+	b = appendU32(b, uint32(m.GapExt))
+	b = appendU32(b, uint32(m.MinScore))
+	b = appendU32(b, uint32(m.Lanes))
+	b = appendBool(b, m.Striped)
+	return b
+}
+
+func decodeSetup(b []byte) (msgSetup, error) {
+	r := &reader{b: b}
+	m := msgSetup{
+		Seq:    r.bytes(),
+		Matrix: string(r.bytes()),
+	}
+	m.GapOpen = r.i32()
+	m.GapExt = r.i32()
+	m.MinScore = r.i32()
+	m.Lanes = uint8(r.u32())
+	m.Striped = r.bool()
+	return m, r.err
+}
+
+func (m msgJob) encode() []byte {
+	b := appendU32(nil, uint32(m.R))
+	return appendBool(b, m.First)
+}
+
+func decodeJob(b []byte) (msgJob, error) {
+	r := &reader{b: b}
+	m := msgJob{R: r.i32(), First: r.bool()}
+	return m, r.err
+}
+
+func (m msgResult) encode() []byte {
+	b := appendU32(nil, uint32(m.R))
+	b = appendU32(b, uint32(m.Version))
+	b = appendBool(b, m.First)
+	b = appendI32s(b, m.Scores)
+	b = appendU32(b, uint32(len(m.Rows)))
+	for _, row := range m.Rows {
+		b = appendI32s(b, row)
+	}
+	return b
+}
+
+func decodeResult(b []byte) (msgResult, error) {
+	r := &reader{b: b}
+	m := msgResult{R: r.i32(), Version: r.i32(), First: r.bool(), Scores: r.i32s()}
+	n := int(r.u32())
+	if r.err == nil && n > 0 {
+		if n > len(b) { // cheap sanity bound
+			return m, fmt.Errorf("cluster: row count %d exceeds message", n)
+		}
+		m.Rows = make([][]int32, n)
+		for i := range m.Rows {
+			m.Rows[i] = r.i32s()
+		}
+	}
+	return m, r.err
+}
+
+func (m msgTop) encode() []byte {
+	b := appendU32(nil, uint32(m.Version))
+	b = appendI32s(b, m.PairsI)
+	b = appendI32s(b, m.PairsJ)
+	return b
+}
+
+func decodeTop(b []byte) (msgTop, error) {
+	r := &reader{b: b}
+	m := msgTop{Version: r.i32(), PairsI: r.i32s(), PairsJ: r.i32s()}
+	if r.err == nil && len(m.PairsI) != len(m.PairsJ) {
+		return m, fmt.Errorf("cluster: pair coordinate lengths differ (%d vs %d)", len(m.PairsI), len(m.PairsJ))
+	}
+	return m, r.err
+}
+
+func (m msgRow) encode() []byte {
+	b := appendU32(nil, uint32(m.R))
+	return appendI32s(b, m.Row)
+}
+
+func decodeRow(b []byte) (msgRow, error) {
+	r := &reader{b: b}
+	m := msgRow{R: r.i32(), Row: r.i32s()}
+	return m, r.err
+}

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mpi"
+	"repro/internal/topalign"
+)
+
+// LocalSpec describes an in-process cluster: Slaves slave "processes"
+// with ThreadsPerSlave worker goroutines each (the paper's cluster of
+// dual-CPU SMPs corresponds to ThreadsPerSlave=2).
+type LocalSpec struct {
+	Slaves          int
+	ThreadsPerSlave int
+}
+
+// RunLocal executes a full cluster computation inside one process using
+// the channel transport: one master rank plus spec.Slaves slave ranks.
+// It exercises exactly the same protocol code as the TCP binaries.
+func RunLocal(s []byte, cfg Config, spec LocalSpec) (*topalign.Result, error) {
+	if spec.Slaves < 1 {
+		return nil, fmt.Errorf("cluster: need at least one slave, got %d", spec.Slaves)
+	}
+	if spec.ThreadsPerSlave < 1 {
+		spec.ThreadsPerSlave = 1
+	}
+	world := mpi.NewLocal(spec.Slaves + 1)
+
+	var wg sync.WaitGroup
+	slaveErrs := make([]error, spec.Slaves)
+	for i := 0; i < spec.Slaves; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			defer world[idx+1].Close()
+			slaveErrs[idx] = RunSlave(world[idx+1], spec.ThreadsPerSlave)
+		}(i)
+	}
+
+	res, err := RunMaster(world[0], s, cfg)
+	world[0].Close()
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	for i, serr := range slaveErrs {
+		if serr != nil {
+			return nil, fmt.Errorf("cluster: slave %d: %w", i+1, serr)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,342 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/align"
+	"repro/internal/mpi"
+	"repro/internal/multialign"
+	"repro/internal/scoring"
+	"repro/internal/triangle"
+)
+
+// RunSlave runs a slave rank: it waits for the master's setup, then
+// serves alignment jobs with `threads` worker goroutines (>= 1) sharing
+// one triangle replica and one original-row cache — one slave process
+// per SMP node, several threads per process, as in the paper.
+// It returns when the master sends stop or the connection drops.
+func RunSlave(comm mpi.Comm, threads int) error {
+	if comm.Rank() == 0 {
+		return fmt.Errorf("cluster: RunSlave called on rank 0")
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	msg, err := comm.Recv()
+	if err != nil {
+		return fmt.Errorf("cluster: waiting for setup: %w", err)
+	}
+	if msg.Tag == tagStop {
+		return nil
+	}
+	if msg.Tag != tagSetup {
+		return fmt.Errorf("cluster: expected setup, got tag %d", msg.Tag)
+	}
+	setup, err := decodeSetup(msg.Data)
+	if err != nil {
+		comm.Send(0, tagRefused, []byte(err.Error()))
+		return err
+	}
+	sl, err := newSlave(comm, setup)
+	if err != nil {
+		comm.Send(0, tagRefused, []byte(err.Error()))
+		return err
+	}
+	return sl.run(threads)
+}
+
+// replicaState is the atomically-published triangle replica.
+type replicaState struct {
+	tri     *triangle.Triangle
+	version int
+}
+
+type slave struct {
+	comm    mpi.Comm
+	s       []byte
+	params  align.Params
+	lanes   int
+	striped bool
+
+	replica atomic.Pointer[replicaState]
+	rows    *triangle.RowStore // cache of original rows
+
+	jobs chan msgJob
+
+	mu         sync.Mutex
+	rowWaiters map[int]chan []int32
+}
+
+func newSlave(comm mpi.Comm, setup msgSetup) (*slave, error) {
+	exch, ok := scoring.ByName(setup.Matrix)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown exchange matrix %q", setup.Matrix)
+	}
+	if len(setup.Seq) < 2 {
+		return nil, fmt.Errorf("cluster: sequence too short (%d)", len(setup.Seq))
+	}
+	for i, c := range setup.Seq {
+		if int(c) >= exch.Alphabet().Len() {
+			return nil, fmt.Errorf("cluster: residue code %d at %d out of range", c, i)
+		}
+	}
+	p := align.Params{Exch: exch, Gap: scoring.Gap{Open: setup.GapOpen, Ext: setup.GapExt}}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	lanes := int(setup.Lanes)
+	if lanes == 0 {
+		lanes = 1
+	}
+	if lanes != 1 && lanes != 4 && lanes != 8 {
+		return nil, fmt.Errorf("cluster: invalid lane count %d", lanes)
+	}
+	sl := &slave{
+		comm:       comm,
+		s:          setup.Seq,
+		params:     p,
+		lanes:      lanes,
+		striped:    setup.Striped,
+		rows:       triangle.NewRowStore(len(setup.Seq)),
+		rowWaiters: make(map[int]chan []int32),
+	}
+	sl.replica.Store(&replicaState{tri: triangle.New(len(setup.Seq)), version: 0})
+	return sl, nil
+}
+
+// run is the slave's receive loop plus worker pool.
+func (sl *slave) run(threads int) error {
+	// The master assigns at most one job per advertised worker slot, so a
+	// buffer of `threads` guarantees the receive loop never blocks on the
+	// job channel while workers wait for row replies it must deliver.
+	sl.jobs = make(chan msgJob, threads)
+	var wg sync.WaitGroup
+	errCh := make(chan error, threads)
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range sl.jobs {
+				if err := sl.work(job); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+		if err := sl.comm.Send(0, tagReady, nil); err != nil {
+			close(sl.jobs)
+			wg.Wait()
+			return err
+		}
+	}
+
+	var loopErr error
+recv:
+	for {
+		select {
+		case loopErr = <-errCh:
+			break recv
+		default:
+		}
+		msg, err := sl.comm.Recv()
+		if err != nil {
+			loopErr = err
+			break
+		}
+		switch msg.Tag {
+		case tagJob:
+			job, err := decodeJob(msg.Data)
+			if err != nil {
+				loopErr = err
+				break recv
+			}
+			sl.jobs <- job
+		case tagTop:
+			upd, err := decodeTop(msg.Data)
+			if err != nil {
+				loopErr = err
+				break recv
+			}
+			sl.applyTop(upd)
+		case tagRow:
+			row, err := decodeRow(msg.Data)
+			if err != nil {
+				loopErr = err
+				break recv
+			}
+			sl.deliverRow(int(row.R), row.Row)
+		case tagStop:
+			break recv
+		case mpi.TagDown:
+			// Only the master's death ends the run; with the local
+			// transport a sibling slave's death is also broadcast here
+			// and must be ignored.
+			if msg.From == 0 {
+				break recv
+			}
+		default:
+			loopErr = fmt.Errorf("cluster: slave got unexpected tag %d", msg.Tag)
+			break recv
+		}
+	}
+	close(sl.jobs)
+	// unblock any worker waiting for a row
+	sl.mu.Lock()
+	for r, ch := range sl.rowWaiters {
+		close(ch)
+		delete(sl.rowWaiters, r)
+	}
+	sl.mu.Unlock()
+	wg.Wait()
+	if loopErr == mpi.ErrClosed {
+		loopErr = nil
+	}
+	return loopErr
+}
+
+// applyTop folds a broadcast top alignment into a fresh replica and
+// publishes it. Workers mid-alignment keep the snapshot they started
+// with; their results carry the old version, which the master treats as
+// the stale upper bound it is.
+func (sl *slave) applyTop(upd msgTop) {
+	cur := sl.replica.Load()
+	tri := cur.tri.Clone()
+	for i := range upd.PairsI {
+		tri.Set(int(upd.PairsI[i]), int(upd.PairsJ[i]))
+	}
+	sl.replica.Store(&replicaState{tri: tri, version: int(upd.Version)})
+}
+
+// deliverRow routes a fetched original row to the waiting worker.
+func (sl *slave) deliverRow(r int, row []int32) {
+	sl.mu.Lock()
+	ch := sl.rowWaiters[r]
+	delete(sl.rowWaiters, r)
+	sl.mu.Unlock()
+	if ch != nil {
+		ch <- row
+	}
+}
+
+// origRow returns the original bottom row for split r, fetching it from
+// the master on a cache miss.
+func (sl *slave) origRow(r int) ([]int32, error) {
+	if row, ok := sl.rows.Get(r); ok {
+		return row, nil
+	}
+	ch := make(chan []int32, 1)
+	sl.mu.Lock()
+	sl.rowWaiters[r] = ch
+	sl.mu.Unlock()
+	if err := sl.comm.Send(0, tagRowReq, msgRow{R: int32(r)}.encode()); err != nil {
+		return nil, err
+	}
+	row, ok := <-ch
+	if !ok {
+		return nil, mpi.ErrClosed
+	}
+	if len(row) != len(sl.s)-r {
+		return nil, fmt.Errorf("cluster: master sent row for split %d with %d entries, want %d",
+			r, len(row), len(sl.s)-r)
+	}
+	sl.rows.Put(r, row)
+	return row, nil
+}
+
+// work executes one job and reports the result.
+func (sl *slave) work(job msgJob) error {
+	m := len(sl.s)
+	r0 := int(job.R)
+	members := 1
+	if sl.lanes > 1 {
+		members = min(sl.lanes, m-r0)
+	}
+	res := msgResult{R: job.R, First: job.First, Scores: make([]int32, members)}
+
+	var tri *triangle.Triangle
+	if job.First {
+		res.Version = 0
+		res.Rows = make([][]int32, members)
+	} else {
+		rep := sl.replica.Load()
+		tri, res.Version = rep.tri, int32(rep.version)
+	}
+
+	if sl.lanes > 1 {
+		if err := sl.workGroup(r0, members, tri, &res); err != nil {
+			return err
+		}
+	} else {
+		if err := sl.workScalar(r0, tri, &res); err != nil {
+			return err
+		}
+	}
+	return sl.comm.Send(0, tagResult, res.encode())
+}
+
+func (sl *slave) workScalar(r int, tri *triangle.Triangle, res *msgResult) error {
+	s1, s2 := sl.s[:r], sl.s[r:]
+	row := sl.score(s1, s2, tri, r)
+	if res.First {
+		sl.rows.Put(r, row)
+		res.Rows[0] = row
+		_, res.Scores[0], _ = align.BestValidEnd(row, nil)
+		return nil
+	}
+	orig, err := sl.origRow(r)
+	if err != nil {
+		return err
+	}
+	_, res.Scores[0], _ = align.BestValidEnd(row, orig)
+	return nil
+}
+
+func (sl *slave) workGroup(r0, members int, tri *triangle.Triangle, res *msgResult) error {
+	g, err := multialign.ScoreGroupAuto(sl.params, sl.s, r0, sl.lanes, tri)
+	if err != nil {
+		// scalar fallback per member
+		for i := 0; i < members; i++ {
+			r := r0 + i
+			s1, s2 := sl.s[:r], sl.s[r:]
+			row := sl.score(s1, s2, tri, r)
+			if res.First {
+				sl.rows.Put(r, row)
+				res.Rows[i] = row
+				_, res.Scores[i], _ = align.BestValidEnd(row, nil)
+				continue
+			}
+			orig, err := sl.origRow(r)
+			if err != nil {
+				return err
+			}
+			_, res.Scores[i], _ = align.BestValidEnd(row, orig)
+		}
+		return nil
+	}
+	for i := 0; i < members; i++ {
+		r := r0 + i
+		row := g.Bottoms[i]
+		if res.First {
+			sl.rows.Put(r, row)
+			res.Rows[i] = row
+			_, res.Scores[i], _ = align.BestValidEnd(row, nil)
+			continue
+		}
+		orig, err := sl.origRow(r)
+		if err != nil {
+			return err
+		}
+		_, res.Scores[i], _ = align.BestValidEnd(row, orig)
+	}
+	return nil
+}
+
+// score dispatches to the configured scalar kernel.
+func (sl *slave) score(s1, s2 []byte, tri *triangle.Triangle, r int) []int32 {
+	if sl.striped {
+		return align.ScoreStriped(sl.params, s1, s2, tri, r, 0)
+	}
+	return align.ScoreMasked(sl.params, s1, s2, tri, r)
+}

@@ -1,0 +1,33 @@
+// Package core is the canonical entry point to the paper's primary
+// contribution — the O(n^3) nonoverlapping top-alignment algorithm of
+// Section 3 and Appendix A.
+//
+// The implementation lives in package topalign (with the override
+// triangle in package triangle and the kernels in packages align and
+// multialign); core re-exports the sequential surface under the
+// repository's conventional name so that the system inventory in
+// DESIGN.md maps one-to-one onto the tree. New code should import
+// repro/internal/topalign directly for the scheduler-facing Engine API.
+package core
+
+import (
+	"repro/internal/topalign"
+)
+
+// Re-exported types of the sequential top-alignment API.
+type (
+	// Config configures a top-alignment computation.
+	Config = topalign.Config
+	// Result is the outcome of a Find run.
+	Result = topalign.Result
+	// TopAlignment is one accepted nonoverlapping top alignment.
+	TopAlignment = topalign.TopAlignment
+	// Pair is a matched residue pair in global sequence positions.
+	Pair = topalign.Pair
+)
+
+// Find computes cfg.NumTops nonoverlapping top alignments of s with the
+// paper's sequential algorithm (Figure 5).
+func Find(s []byte, cfg Config) (*Result, error) {
+	return topalign.Find(s, cfg)
+}

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+)
+
+func TestFindForwardsToTopalign(t *testing.T) {
+	res, err := Find(seq.PaperATGC().Codes, Config{
+		Params:  align.Params{Exch: scoring.PaperDNA, Gap: scoring.PaperGap},
+		NumTops: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tops) != 3 {
+		t.Fatalf("got %d tops, want 3", len(res.Tops))
+	}
+	if res.Tops[0].Pairs[0] != (Pair{I: 1, J: 5}) {
+		t.Errorf("first pair = %v", res.Tops[0].Pairs[0])
+	}
+}

@@ -1,0 +1,226 @@
+package dessim
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+	"repro/internal/topalign"
+)
+
+var proteinParams = align.Params{Exch: scoring.BLOSUM62, Gap: scoring.DefaultProteinGap}
+
+func recordTitin(t *testing.T, n, tops int) *Trace {
+	t.Helper()
+	q := seq.SyntheticTitin(n, 1)
+	tr, err := Record(q.Codes, topalign.Config{Params: proteinParams, NumTops: tops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRecordStructure(t *testing.T) {
+	n, tops := 200, 8
+	tr := recordTitin(t, n, tops)
+	if tr.M != n {
+		t.Errorf("M = %d, want %d", tr.M, n)
+	}
+	if tr.Tops() != tops {
+		t.Fatalf("trace has %d tops, want %d", tr.Tops(), tops)
+	}
+	// round 0 aligns every split exactly once
+	if len(tr.Rounds[0].Tasks) != n-1 {
+		t.Errorf("round 0 has %d tasks, want %d", len(tr.Rounds[0].Tasks), n-1)
+	}
+	seen := map[int]bool{}
+	for _, task := range tr.Rounds[0].Tasks {
+		if task.R < 1 || task.R > n-1 || seen[task.R] {
+			t.Fatalf("round 0 task split %d invalid or duplicated", task.R)
+		}
+		seen[task.R] = true
+		if want := int64(task.R) * int64(n-task.R); task.Cells != want {
+			t.Fatalf("split %d cells = %d, want %d", task.R, task.Cells, want)
+		}
+	}
+	// later rounds are small: that is the 90-97% realignment reduction
+	for i := 1; i < len(tr.Rounds); i++ {
+		if len(tr.Rounds[i].Tasks) >= n-1 {
+			t.Errorf("round %d realigns everything (%d tasks)", i, len(tr.Rounds[i].Tasks))
+		}
+	}
+}
+
+func TestSimulateSingleProcessor(t *testing.T) {
+	tr := recordTitin(t, 150, 5)
+	m := PaperModel()
+	res, err := Simulate(tr, m, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P=1 runs the SIMD kernel sequentially: speedup close to the SIMD
+	// factor, diluted by the scalar traceback
+	if res.Speedup < 2 || res.Speedup > m.SimdFactor {
+		t.Errorf("P=1 speedup = %.2f, want in (2, %.1f]", res.Speedup, m.SimdFactor)
+	}
+}
+
+func TestSimulateScalesWithProcessors(t *testing.T) {
+	// The test sequence is short, so its tasks are far smaller than
+	// titin's (microseconds, not seconds); scale the master's service
+	// time down accordingly or it dominates and hides the scaling this
+	// test is about. cmd/figure8 runs the full-cost model on a longer
+	// sequence instead.
+	tr := recordTitin(t, 400, 1)
+	m := PaperModel()
+	m.MasterServiceSec /= 100
+	m.LatencySec /= 100
+	prev := 0.0
+	for _, p := range []int{2, 4, 8, 16, 32} {
+		res, err := Simulate(tr, m, p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Speedup <= prev {
+			t.Errorf("speedup not increasing: P=%d gives %.1f after %.1f", p, res.Speedup, prev)
+		}
+		prev = res.Speedup
+	}
+	// with 400 tasks in round 0, 32 processors must be well utilised:
+	// speedup far above the single-CPU SIMD factor
+	if prev < 4*m.SimdFactor {
+		t.Errorf("P=32 speedup %.1f unexpectedly low", prev)
+	}
+}
+
+// The Figure 8 shape: at high processor counts, computing only the first
+// top alignment scales better than computing many (the per-round
+// realignment sets and serial tracebacks limit parallelism).
+func TestFigure8Shape(t *testing.T) {
+	tr := recordTitin(t, 400, 25)
+	m := PaperModel()
+	one, err := Simulate(tr, m, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Simulate(tr, m, 64, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Speedup <= many.Speedup {
+		t.Errorf("speedup(1 top)=%.1f not above speedup(25 tops)=%.1f at 64 procs",
+			one.Speedup, many.Speedup)
+	}
+}
+
+func TestSimulateWorkConservation(t *testing.T) {
+	// Simulated wall time can never beat work/aggregate-throughput.
+	tr := recordTitin(t, 250, 10)
+	m := PaperModel()
+	for _, p := range []int{2, 8, 64} {
+		res, err := Simulate(tr, m, p, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := float64(tr.AlignCells(10)) / (m.ScalarCellsPerSec * m.SimdFactor * float64(p-1))
+		if res.WallSeconds < work {
+			t.Errorf("P=%d wall %.4fs beats the work bound %.4fs", p, res.WallSeconds, work)
+		}
+		if res.Speedup > float64(p)*m.SimdFactor {
+			t.Errorf("P=%d speedup %.1f exceeds p*simd bound", p, res.Speedup)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	tr := recordTitin(t, 150, 3)
+	m := PaperModel()
+	a, _ := Simulate(tr, m, 16, 3)
+	b, _ := Simulate(tr, m, 16, 3)
+	if a != b {
+		t.Error("simulation not deterministic")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	tr := recordTitin(t, 150, 4)
+	rs, err := Sweep(tr, PaperModel(), []int{1, 2, 4}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 6 {
+		t.Fatalf("sweep returned %d results, want 6", len(rs))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tr := recordTitin(t, 100, 2)
+	if _, err := Simulate(tr, Model{}, 2, 1); err == nil {
+		t.Error("zero model accepted")
+	}
+	if _, err := Simulate(tr, PaperModel(), 0, 1); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := Simulate(tr, PaperModel(), 2, 99); err == nil {
+		t.Error("tops beyond trace accepted")
+	}
+	if _, err := Record(seq.Random(seq.Protein, 80, 1).Codes,
+		topalign.Config{Params: proteinParams, NumTops: 5, MinScore: 10000}); err == nil {
+		t.Error("record with no tops accepted")
+	}
+}
+
+// A master with a huge per-message service time must become the
+// bottleneck: adding processors stops helping (the regime the paper
+// avoids by keeping slave traffic at 64 KB/s).
+func TestMasterBottleneckRegime(t *testing.T) {
+	tr := recordTitin(t, 300, 1)
+	m := PaperModel()
+	m.MasterServiceSec = 0.05 // absurdly slow master
+	s16, err := Simulate(tr, m, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s64, err := Simulate(tr, m, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain := s64.Speedup / s16.Speedup; gain > 1.2 {
+		t.Errorf("master-bound run still scaled %.2fx from 16 to 64 procs", gain)
+	}
+	// wall time is at least one serial master service slot per task
+	// (assignment piggybacks on the request/result being handled)
+	minWall := float64(len(tr.Rounds[0].Tasks)) * m.MasterServiceSec
+	if s64.WallSeconds < minWall {
+		t.Errorf("wall %.2fs below master service floor %.2fs", s64.WallSeconds, minWall)
+	}
+}
+
+// Sequential baseline must not depend on the processor count.
+func TestSeqBaselineStable(t *testing.T) {
+	tr := recordTitin(t, 200, 4)
+	m := PaperModel()
+	a, _ := Simulate(tr, m, 2, 4)
+	b, _ := Simulate(tr, m, 64, 4)
+	if a.SeqSeconds != b.SeqSeconds {
+		t.Errorf("SeqSeconds differs across procs: %f vs %f", a.SeqSeconds, b.SeqSeconds)
+	}
+}
+
+func TestRowTrafficAccounted(t *testing.T) {
+	tr := recordTitin(t, 200, 5)
+	res, err := Simulate(tr, PaperModel(), 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// every round-0 row crosses the network once: at least
+	// sum_{r}(4*(m-r)) bytes
+	var minBytes int64
+	for _, task := range tr.Rounds[0].Tasks {
+		minBytes += int64(4 * (tr.M - task.R))
+	}
+	if res.RowBytes < minBytes {
+		t.Errorf("row traffic %d below the round-0 floor %d", res.RowBytes, minBytes)
+	}
+}

@@ -1,0 +1,79 @@
+package mpi
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// BenchmarkLocalRoundTrip measures the in-process transport's
+// request/reply latency (worker sends, master echoes).
+func BenchmarkLocalRoundTrip(b *testing.B) {
+	world := NewLocal(2)
+	defer world[0].Close()
+	defer world[1].Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			msg, err := world[0].Recv()
+			if err != nil {
+				return
+			}
+			if world[0].Send(msg.From, msg.Tag, msg.Data) != nil {
+				return
+			}
+		}
+	}()
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := world[1].Send(0, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := world[1].Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	world[1].Close()
+	<-done
+}
+
+// BenchmarkTCPRowTransfer measures shipping an original bottom row
+// (the dominant cluster traffic) over loopback TCP.
+func BenchmarkTCPRowTransfer(b *testing.B) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	masterCh := make(chan Comm, 1)
+	go func() {
+		m, err := ListenTCP(addr, 2, 5*time.Second)
+		if err == nil {
+			masterCh <- m
+		}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	w, err := DialTCP(addr, 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	m := <-masterCh
+	defer m.Close()
+
+	row := make([]byte, 4*8192) // an 8192-entry int32 row
+	b.SetBytes(int64(len(row)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Send(1, 7, row); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

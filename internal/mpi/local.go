@@ -1,0 +1,102 @@
+package mpi
+
+import "sync"
+
+// NewLocal creates size in-process endpoints connected by channels.
+// Full mesh: any rank may send to any other. Endpoint i is intended to
+// be driven by its own goroutine.
+func NewLocal(size int) []Comm {
+	if size < 1 {
+		panic("mpi: local world size must be >= 1")
+	}
+	world := make([]*localComm, size)
+	for i := range world {
+		world[i] = &localComm{
+			rank:  i,
+			size:  size,
+			inbox: make(chan Message, 1024),
+			done:  make(chan struct{}),
+			world: world,
+		}
+	}
+	comms := make([]Comm, size)
+	for i, c := range world {
+		comms[i] = c
+	}
+	return comms
+}
+
+type localComm struct {
+	rank  int
+	size  int
+	inbox chan Message
+	done  chan struct{} // closed by Close; inbox itself is never closed
+	world []*localComm
+
+	closeOnce sync.Once
+}
+
+func (c *localComm) Rank() int { return c.rank }
+func (c *localComm) Size() int { return c.size }
+
+func (c *localComm) Send(to int, tag Tag, data []byte) error {
+	if to < 0 || to >= c.size {
+		return errBadRank(to, c.size)
+	}
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	peer := c.world[to]
+	// Check the peer's liveness first: a select with both cases ready
+	// picks randomly and could otherwise enqueue to a closed peer.
+	select {
+	case <-peer.done:
+		return ErrClosed
+	default:
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	select {
+	case peer.inbox <- Message{From: c.rank, Tag: tag, Data: cp}:
+		return nil
+	case <-peer.done:
+		return ErrClosed
+	}
+}
+
+func (c *localComm) Recv() (Message, error) {
+	select {
+	case msg := <-c.inbox:
+		return msg, nil
+	case <-c.done:
+		// Drain anything that raced with Close so no message is lost.
+		select {
+		case msg := <-c.inbox:
+			return msg, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	}
+}
+
+func (c *localComm) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		// Tell every other rank this one is gone, so a blocked master
+		// sees TagDown instead of waiting forever. Non-blocking: a peer
+		// with a full inbox will notice via send errors instead.
+		for _, peer := range c.world {
+			if peer == c {
+				continue
+			}
+			select {
+			case peer.inbox <- Message{From: c.rank, Tag: TagDown}:
+			case <-peer.done:
+			default:
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,310 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Wire format, per frame:
+//
+//	magic   [4]byte "RPR1" (handshake only)
+//	frame:  uint32 payload length | uint8 tag | int32 from | payload
+//
+// Handshake: worker connects and sends magic; master replies with
+// magic, assigned rank (int32) and world size (int32).
+
+var tcpMagic = [4]byte{'R', 'P', 'R', '1'}
+
+// ListenTCP starts the master endpoint (rank 0) on addr and blocks
+// until size-1 workers have connected (or timeout elapses; 0 means no
+// timeout). The returned Comm receives from all workers; Send addresses
+// workers by their assigned rank.
+func ListenTCP(addr string, size int, timeout time.Duration) (Comm, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("mpi: tcp world size %d must be >= 2", size)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: listen %s: %w", addr, err)
+	}
+	defer ln.Close()
+	if timeout > 0 {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(time.Now().Add(timeout))
+		}
+	}
+	m := &tcpMaster{
+		size:  size,
+		conns: make([]*tcpConn, size),
+		inbox: make(chan Message, 1024),
+		done:  make(chan struct{}),
+	}
+	for rank := 1; rank < size; rank++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("mpi: accepting worker %d of %d: %w", rank, size-1, err)
+		}
+		tc, err := newTCPConn(conn)
+		if err != nil {
+			conn.Close()
+			m.Close()
+			return nil, err
+		}
+		var magic [4]byte
+		if _, err := io.ReadFull(tc.br, magic[:]); err != nil || magic != tcpMagic {
+			conn.Close()
+			m.Close()
+			return nil, fmt.Errorf("mpi: bad handshake from %s", conn.RemoteAddr())
+		}
+		var hello [12]byte
+		copy(hello[0:4], tcpMagic[:])
+		binary.LittleEndian.PutUint32(hello[4:8], uint32(rank))
+		binary.LittleEndian.PutUint32(hello[8:12], uint32(size))
+		if _, err := conn.Write(hello[:]); err != nil {
+			conn.Close()
+			m.Close()
+			return nil, fmt.Errorf("mpi: handshake reply to worker %d: %w", rank, err)
+		}
+		m.conns[rank] = tc
+		go m.reader(rank, tc)
+	}
+	return m, nil
+}
+
+// DialTCP connects a worker endpoint to the master at addr. The master
+// assigns the rank.
+func DialTCP(addr string, timeout time.Duration) (Comm, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: dial %s: %w", addr, err)
+	}
+	if _, err := conn.Write(tcpMagic[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("mpi: handshake: %w", err)
+	}
+	tc, err := newTCPConn(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var hello [12]byte
+	if _, err := io.ReadFull(tc.br, hello[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("mpi: handshake reply: %w", err)
+	}
+	if [4]byte(hello[0:4]) != tcpMagic {
+		conn.Close()
+		return nil, fmt.Errorf("mpi: bad handshake magic from master")
+	}
+	w := &tcpWorker{
+		rank:  int(binary.LittleEndian.Uint32(hello[4:8])),
+		size:  int(binary.LittleEndian.Uint32(hello[8:12])),
+		conn:  tc,
+		inbox: make(chan Message, 1024),
+		done:  make(chan struct{}),
+	}
+	go w.reader()
+	return w, nil
+}
+
+// tcpConn wraps a connection with buffered I/O and a write lock.
+type tcpConn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+}
+
+func newTCPConn(c net.Conn) (*tcpConn, error) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &tcpConn{c: c, br: bufio.NewReaderSize(c, 64<<10), bw: bufio.NewWriterSize(c, 64<<10)}, nil
+}
+
+func (t *tcpConn) writeFrame(from int, tag Tag, data []byte) error {
+	if len(data) > maxPayload {
+		return fmt.Errorf("mpi: payload %d exceeds limit", len(data))
+	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	var hdr [9]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(data)))
+	hdr[4] = byte(tag)
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(int32(from)))
+	if _, err := t.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := t.bw.Write(data); err != nil {
+		return err
+	}
+	return t.bw.Flush()
+}
+
+func (t *tcpConn) readFrame() (Message, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(t.br, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxPayload {
+		return Message{}, fmt.Errorf("mpi: frame length %d exceeds limit", n)
+	}
+	msg := Message{
+		Tag:  Tag(hdr[4]),
+		From: int(int32(binary.LittleEndian.Uint32(hdr[5:9]))),
+	}
+	if n > 0 {
+		msg.Data = make([]byte, n)
+		if _, err := io.ReadFull(t.br, msg.Data); err != nil {
+			return Message{}, err
+		}
+	}
+	return msg, nil
+}
+
+// tcpMaster is rank 0 of a TCP world.
+type tcpMaster struct {
+	size  int
+	conns []*tcpConn // index = rank, [0] nil
+	inbox chan Message
+	done  chan struct{}
+
+	closeOnce sync.Once
+}
+
+func (m *tcpMaster) Rank() int { return 0 }
+func (m *tcpMaster) Size() int { return m.size }
+
+func (m *tcpMaster) Send(to int, tag Tag, data []byte) error {
+	if to <= 0 || to >= m.size {
+		return errBadRank(to, m.size)
+	}
+	select {
+	case <-m.done:
+		return ErrClosed
+	default:
+	}
+	return m.conns[to].writeFrame(0, tag, data)
+}
+
+func (m *tcpMaster) Recv() (Message, error) {
+	select {
+	case msg := <-m.inbox:
+		return msg, nil
+	case <-m.done:
+		select {
+		case msg := <-m.inbox:
+			return msg, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	}
+}
+
+// reader pumps one worker connection into the shared inbox and reports
+// the worker's death exactly once.
+func (m *tcpMaster) reader(rank int, tc *tcpConn) {
+	for {
+		msg, err := tc.readFrame()
+		if err != nil {
+			select {
+			case m.inbox <- Message{From: rank, Tag: TagDown}:
+			case <-m.done:
+			}
+			return
+		}
+		msg.From = rank // trust the connection, not the frame header
+		select {
+		case m.inbox <- msg:
+		case <-m.done:
+			return
+		}
+	}
+}
+
+func (m *tcpMaster) Close() error {
+	m.closeOnce.Do(func() {
+		close(m.done)
+		for _, c := range m.conns {
+			if c != nil {
+				c.c.Close()
+			}
+		}
+	})
+	return nil
+}
+
+// tcpWorker is a non-zero rank connected to the master.
+type tcpWorker struct {
+	rank  int
+	size  int
+	conn  *tcpConn
+	inbox chan Message
+	done  chan struct{}
+
+	closeOnce sync.Once
+}
+
+func (w *tcpWorker) Rank() int { return w.rank }
+func (w *tcpWorker) Size() int { return w.size }
+
+func (w *tcpWorker) Send(to int, tag Tag, data []byte) error {
+	if to != 0 {
+		return fmt.Errorf("mpi: tcp transport is a star: worker %d cannot send to rank %d", w.rank, to)
+	}
+	select {
+	case <-w.done:
+		return ErrClosed
+	default:
+	}
+	return w.conn.writeFrame(w.rank, tag, data)
+}
+
+func (w *tcpWorker) Recv() (Message, error) {
+	select {
+	case msg := <-w.inbox:
+		return msg, nil
+	case <-w.done:
+		select {
+		case msg := <-w.inbox:
+			return msg, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	}
+}
+
+func (w *tcpWorker) reader() {
+	for {
+		msg, err := w.conn.readFrame()
+		if err != nil {
+			select {
+			case w.inbox <- Message{From: 0, Tag: TagDown}:
+			case <-w.done:
+			}
+			return
+		}
+		msg.From = 0
+		select {
+		case w.inbox <- msg:
+		case <-w.done:
+			return
+		}
+	}
+}
+
+func (w *tcpWorker) Close() error {
+	w.closeOnce.Do(func() {
+		close(w.done)
+		w.conn.c.Close()
+	})
+	return nil
+}

@@ -1,0 +1,199 @@
+// Package parallel implements the shared-memory level of the paper's
+// three-level parallelisation (Section 4.2): a dynamic task-scheduling
+// system in which worker threads repeatedly take the highest-scoring
+// unassigned task from the shared best-first queue, realign it, and
+// reinsert it. A new top alignment is accepted when the task at the head
+// of the queue has already been aligned with the current override
+// triangle.
+//
+// The parallelism is speculative: while one task's acceptance is being
+// traced back, other workers keep realigning against the previous
+// triangle snapshot. Their results are stamped with the triangle they
+// were computed against, so they re-enter the queue as valid upper
+// bounds — the paper's "the work for the superfluous tasks is not
+// wasted".
+//
+// Two acceptance modes are provided:
+//
+//   - Speculative (the paper's): the head task is accepted as soon as it
+//     is current, even while other tasks are in flight. Up to a few
+//     percent more alignments are performed (the paper measures 8.4%)
+//     and equal-scoring tops may be accepted in a different order.
+//   - Strict: acceptance additionally waits until no task is in flight.
+//     This mode provably yields bit-identical results to the sequential
+//     algorithm and is the default for correctness-sensitive callers.
+//
+// Workers are goroutines; on a multi-core machine they map to OS threads
+// exactly like the paper's Pthreads implementation.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/topalign"
+	"repro/internal/triangle"
+)
+
+// Config controls the shared-memory scheduler.
+type Config struct {
+	// Workers is the number of worker goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// Speculative enables the paper's acceptance rule (see package
+	// comment). Off = strict mode, bit-identical to sequential.
+	Speculative bool
+}
+
+// Find computes top alignments with the shared-memory scheduler.
+func Find(s []byte, cfg topalign.Config, pcfg Config) (*topalign.Result, error) {
+	e, err := topalign.NewEngine(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := Run(e, pcfg); err != nil {
+		return nil, err
+	}
+	return &topalign.Result{
+		SeqLen: e.Len(),
+		Tops:   e.Tops(),
+		Stats:  e.Config().Counters.Snapshot(),
+	}, nil
+}
+
+// Run drives an engine to completion with pcfg.Workers goroutines.
+func Run(e *topalign.Engine, pcfg Config) error {
+	workers := pcfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	st := &sched{
+		e:        e,
+		queue:    topalign.InitialQueue(e),
+		snapshot: e.TriangleSnapshot(),
+		spec:     pcfg.Speculative,
+		minScore: e.Config().MinScore,
+		numTops:  e.Config().NumTops,
+	}
+	st.cond = sync.NewCond(&st.mu)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.worker()
+		}()
+	}
+	wg.Wait()
+	return st.err
+}
+
+// sched is the shared scheduler state. All fields are protected by mu;
+// snapshot is an immutable clone workers may read after copying the
+// pointer under the lock.
+type sched struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	e        *topalign.Engine
+	queue    *topalign.TaskQueue
+	snapshot *triangle.Triangle // immutable clone of the current triangle
+	snapTops int                // top count the snapshot corresponds to
+
+	inflight  int
+	accepting bool
+	done      bool
+	err       error
+
+	spec     bool
+	minScore int32
+	numTops  int
+}
+
+// worker is the scheduling loop each goroutine runs.
+func (st *sched) worker() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if st.done {
+			return
+		}
+		head := st.queue.Peek()
+		if head == nil {
+			if st.inflight == 0 && !st.accepting {
+				st.finish(nil)
+				return
+			}
+			st.cond.Wait()
+			continue
+		}
+		if head.Score != topalign.Infinity && head.Score < st.minScore {
+			// Best possible remaining score is below threshold.
+			if st.inflight == 0 && !st.accepting {
+				st.finish(nil)
+				return
+			}
+			st.cond.Wait() // let in-flight results land; they may raise nothing
+			continue
+		}
+		if head.AlignedWith == st.snapTops {
+			// Candidate top alignment.
+			if st.accepting || (!st.spec && st.inflight > 0) {
+				st.cond.Wait()
+				continue
+			}
+			st.accept(st.queue.Pop())
+			continue
+		}
+		// Stale: realign against the current snapshot, outside the lock.
+		t := st.queue.Pop()
+		snap, snapTops := st.snapshot, st.snapTops
+		st.inflight++
+		st.mu.Unlock()
+
+		topalign.Realign(st.e, t, snap, snapTops)
+
+		st.mu.Lock()
+		st.inflight--
+		st.queue.Push(t)
+		st.cond.Broadcast()
+	}
+}
+
+// accept performs the acceptance (including the sequential traceback)
+// for task t. Called with the lock held; the traceback runs unlocked so
+// speculative workers can keep realigning against the old snapshot.
+func (st *sched) accept(t *topalign.Task) {
+	st.accepting = true
+	st.mu.Unlock()
+
+	// Only this goroutine touches the engine's mutable state while
+	// st.accepting is set; realigning workers use the old snapshot.
+	_, err := topalign.Accept(st.e, t)
+
+	st.mu.Lock()
+	st.accepting = false
+	if err != nil {
+		st.finish(fmt.Errorf("parallel: %w", err))
+		return
+	}
+	st.snapshot = st.e.TriangleSnapshot()
+	st.snapTops = st.e.NumTopsFound()
+	st.queue.Push(t) // score unchanged: still a valid upper bound
+	if st.e.NumTopsFound() >= st.numTops {
+		st.finish(nil)
+		return
+	}
+	st.cond.Broadcast()
+}
+
+// finish marks the run complete. Called with the lock held.
+func (st *sched) finish(err error) {
+	st.done = true
+	if err != nil && st.err == nil {
+		st.err = err
+	}
+	st.cond.Broadcast()
+}

@@ -1,0 +1,184 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+	"repro/internal/stats"
+	"repro/internal/topalign"
+)
+
+var proteinParams = align.Params{Exch: scoring.BLOSUM62, Gap: scoring.DefaultProteinGap}
+
+// Strict mode must produce bit-identical results to the sequential
+// algorithm for any worker count.
+func TestStrictMatchesSequential(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		q := seq.SyntheticTitin(160, seed)
+		cfg := topalign.Config{Params: proteinParams, NumTops: 8}
+		want, err := topalign.Find(q.Codes, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 7} {
+			got, err := Find(q.Codes, cfg, Config{Workers: workers})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			assertSameTops(t, got.Tops, want.Tops)
+		}
+	}
+}
+
+func TestStrictMatchesSequentialGroupMode(t *testing.T) {
+	q := seq.SyntheticTitin(140, 1)
+	cfg := topalign.Config{Params: proteinParams, NumTops: 6, GroupLanes: 4}
+	want, err := topalign.Find(q.Codes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Find(q.Codes, cfg, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTops(t, got.Tops, want.Tops)
+}
+
+// Speculative mode may reorder equal-scoring tops but must uphold the
+// core invariants: requested count, nonoverlap, and non-increasing
+// scores... the last only within what speculation guarantees — each
+// accepted score is a genuine alignment score under the triangle at
+// acceptance, so we verify nonoverlap and score-set plausibility.
+func TestSpeculativeInvariants(t *testing.T) {
+	q := seq.SyntheticTitin(200, 4)
+	cfg := topalign.Config{Params: proteinParams, NumTops: 10}
+	res, err := Find(q.Codes, cfg, Config{Workers: 6, Speculative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tops) != 10 {
+		t.Fatalf("got %d tops, want 10", len(res.Tops))
+	}
+	seen := map[topalign.Pair]bool{}
+	for _, top := range res.Tops {
+		if top.Score <= 0 {
+			t.Errorf("top %d has non-positive score %d", top.Index, top.Score)
+		}
+		for _, p := range top.Pairs {
+			if seen[p] {
+				t.Fatalf("pair %v reused: tops overlap", p)
+			}
+			seen[p] = true
+		}
+	}
+	// Speculative and sequential runs find the same total alignment
+	// signal (sum of scores) even if acceptance order differs slightly.
+	seqRes, err := topalign.Find(q.Codes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumSpec, sumSeq int64
+	for i := range res.Tops {
+		sumSpec += int64(res.Tops[i].Score)
+		sumSeq += int64(seqRes.Tops[i].Score)
+	}
+	if diff := float64(sumSpec-sumSeq) / float64(sumSeq); diff < -0.1 || diff > 0.1 {
+		t.Errorf("speculative score sum %d deviates more than 10%% from sequential %d", sumSpec, sumSeq)
+	}
+}
+
+// With a single worker, speculative mode degenerates to the sequential
+// algorithm exactly.
+func TestSpeculativeSingleWorkerMatchesSequential(t *testing.T) {
+	q := seq.SyntheticTitin(130, 6)
+	cfg := topalign.Config{Params: proteinParams, NumTops: 7}
+	want, err := topalign.Find(q.Codes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Find(q.Codes, cfg, Config{Workers: 1, Speculative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTops(t, got.Tops, want.Tops)
+}
+
+// The paper measures up to 8.4% more alignments from speculation. Check
+// the overhead stays within a loose multiple of that on our workloads.
+func TestSpeculationOverheadBounded(t *testing.T) {
+	q := seq.SyntheticTitin(200, 8)
+	seqC, parC := &stats.Counters{}, &stats.Counters{}
+	cfgSeq := topalign.Config{Params: proteinParams, NumTops: 10, Counters: seqC}
+	cfgPar := topalign.Config{Params: proteinParams, NumTops: 10, Counters: parC}
+	if _, err := topalign.Find(q.Codes, cfgSeq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find(q.Codes, cfgPar, Config{Workers: 8, Speculative: true}); err != nil {
+		t.Fatal(err)
+	}
+	seqA := seqC.Snapshot().Alignments
+	parA := parC.Snapshot().Alignments
+	overhead := float64(parA-seqA) / float64(seqA)
+	if overhead > 0.5 {
+		t.Errorf("speculation overhead %.1f%% (seq %d, spec %d alignments) exceeds 50%%",
+			100*overhead, seqA, parA)
+	}
+	t.Logf("speculation overhead: %.2f%% (paper reports up to 8.4%%)", 100*overhead)
+}
+
+func TestMinScoreStopsEarly(t *testing.T) {
+	q := seq.Random(seq.Protein, 100, 3)
+	cfg := topalign.Config{Params: proteinParams, NumTops: 20, MinScore: 10000}
+	res, err := Find(q.Codes, cfg, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tops) != 0 {
+		t.Errorf("got %d tops despite impossible MinScore", len(res.Tops))
+	}
+}
+
+func TestQueueExhaustion(t *testing.T) {
+	s := seq.DNA.MustEncode("ATAT")
+	cfg := topalign.Config{
+		Params:  align.Params{Exch: scoring.PaperDNA, Gap: scoring.PaperGap},
+		NumTops: 50,
+	}
+	res, err := Find(s, cfg, Config{Workers: 3, Speculative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tops) == 0 || len(res.Tops) >= 50 {
+		t.Errorf("got %d tops", len(res.Tops))
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	s := seq.DNA.MustEncode("ACGT")
+	if _, err := Find(s, topalign.Config{}, Config{}); err == nil {
+		t.Error("invalid topalign config accepted")
+	}
+}
+
+func assertSameTops(t *testing.T, got, want []topalign.TopAlignment) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d tops, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Score != want[i].Score || got[i].Split != want[i].Split {
+			t.Fatalf("top %d = (split %d, score %d), want (split %d, score %d)",
+				i+1, got[i].Split, got[i].Score, want[i].Split, want[i].Score)
+		}
+		if len(got[i].Pairs) != len(want[i].Pairs) {
+			t.Fatalf("top %d has %d pairs, want %d", i+1, len(got[i].Pairs), len(want[i].Pairs))
+		}
+		for j := range want[i].Pairs {
+			if got[i].Pairs[j] != want[i].Pairs[j] {
+				t.Fatalf("top %d pair %d = %v, want %v", i+1, j, got[i].Pairs[j], want[i].Pairs[j])
+			}
+		}
+	}
+}

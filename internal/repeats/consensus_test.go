@@ -1,0 +1,101 @@
+package repeats
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestConsensusExactTandem(t *testing.T) {
+	// three exact copies: consensus is the unit, conservation 1.0
+	q := seq.PaperATGC() // ATGCATGCATGC
+	fam := Family{Copies: []Segment{{1, 4}, {5, 8}, {9, 12}}}
+	cons, err := DeriveConsensus(q.Codes, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seq.DNA.Decode(cons.Codes); got != "ATGC" {
+		t.Errorf("consensus = %q, want ATGC", got)
+	}
+	for col, v := range cons.Conservation {
+		if v != 1.0 {
+			t.Errorf("column %d conservation = %f, want 1.0", col, v)
+		}
+	}
+	if cons.MeanConservation() != 1.0 {
+		t.Errorf("mean conservation = %f", cons.MeanConservation())
+	}
+}
+
+func TestConsensusMajorityVote(t *testing.T) {
+	// copies: ACG, ACG, ATG -> consensus ACG; column 2 conservation 2/3
+	s, err := seq.DNA.Encode("ACGACGATG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := Family{Copies: []Segment{{1, 3}, {4, 6}, {7, 9}}}
+	cons, err := DeriveConsensus(s, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seq.DNA.Decode(cons.Codes); got != "ACG" {
+		t.Errorf("consensus = %q, want ACG", got)
+	}
+	if cons.Conservation[1] < 0.66 || cons.Conservation[1] > 0.67 {
+		t.Errorf("column 2 conservation = %f, want 2/3", cons.Conservation[1])
+	}
+}
+
+func TestConsensusShortCopy(t *testing.T) {
+	// a truncated final copy must not break column counting
+	s, _ := seq.DNA.Encode("ACGTACGTAC")
+	fam := Family{Copies: []Segment{{1, 4}, {5, 8}, {9, 10}}}
+	cons, err := DeriveConsensus(s, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seq.DNA.Decode(cons.Codes); got != "ACGT" {
+		t.Errorf("consensus = %q, want ACGT", got)
+	}
+	// columns 3 and 4 only have two contributing copies, still conserved
+	if cons.Conservation[2] != 1.0 || cons.Conservation[3] != 1.0 {
+		t.Errorf("truncated-copy conservation = %v", cons.Conservation)
+	}
+}
+
+func TestConsensusDivergedTitinDomains(t *testing.T) {
+	// end-to-end: delineate a diverged tandem and check the consensus is
+	// closer to the copies than the copies are to each other on average
+	spec := seq.TandemSpec{
+		Alpha: seq.Protein, UnitLen: 30, Copies: 6, FlankLen: 10,
+		Profile: seq.MutationProfile{SubstRate: 0.2}, Seed: 5,
+	}
+	q := seq.Tandem(spec)
+	fam := Family{}
+	for c := 0; c < spec.Copies; c++ {
+		start := spec.FlankLen + c*spec.UnitLen + 1
+		fam.Copies = append(fam.Copies, Segment{start, start + spec.UnitLen - 1})
+	}
+	cons, err := DeriveConsensus(q.Codes, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cons.Codes) != spec.UnitLen {
+		t.Fatalf("consensus length %d, want %d", len(cons.Codes), spec.UnitLen)
+	}
+	// with 20% substitution the majority column should usually recover
+	// the ancestral residue: expect high mean conservation
+	if mc := cons.MeanConservation(); mc < 0.7 {
+		t.Errorf("mean conservation = %f, expected > 0.7", mc)
+	}
+}
+
+func TestConsensusErrors(t *testing.T) {
+	s, _ := seq.DNA.Encode("ACGT")
+	if _, err := DeriveConsensus(s, Family{Copies: []Segment{{1, 2}}}); err == nil {
+		t.Error("single copy accepted")
+	}
+	if _, err := DeriveConsensus(s, Family{Copies: []Segment{{1, 2}, {3, 9}}}); err == nil {
+		t.Error("out-of-range copy accepted")
+	}
+}

@@ -1,0 +1,299 @@
+package repeats
+
+import (
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+	"repro/internal/topalign"
+)
+
+var (
+	dnaParams     = align.Params{Exch: scoring.PaperDNA, Gap: scoring.PaperGap}
+	proteinParams = align.Params{Exch: scoring.BLOSUM62, Gap: scoring.DefaultProteinGap}
+)
+
+// The Figure 4 sequence ATGCATGCATGC must delineate into a single family
+// of three ATGC copies.
+func TestDelineateFigure4(t *testing.T) {
+	s := seq.PaperATGC()
+	res, err := topalign.Find(s.Codes, topalign.Config{Params: dnaParams, NumTops: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := Delineate(s.Len(), res.Tops, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 1 {
+		t.Fatalf("got %d families, want 1", len(fams))
+	}
+	f := fams[0]
+	want := []Segment{{1, 4}, {5, 8}, {9, 12}}
+	if len(f.Copies) != 3 {
+		t.Fatalf("got copies %v, want %v", f.Copies, want)
+	}
+	for i, c := range want {
+		if f.Copies[i] != c {
+			t.Errorf("copy %d = %v, want %v", i, f.Copies[i], c)
+		}
+	}
+	if f.UnitLen() != 4 {
+		t.Errorf("unit length = %d, want 4", f.UnitLen())
+	}
+	if f.Support != 3 {
+		t.Errorf("support = %d, want 3", f.Support)
+	}
+}
+
+// A clean protein tandem: copies must align with the generator's unit
+// boundaries (allowing a couple of residues of slack at the edges, since
+// local alignments trim non-matching ends).
+func TestDelineateTandemProtein(t *testing.T) {
+	spec := seq.TandemSpec{Alpha: seq.Protein, UnitLen: 40, Copies: 4, FlankLen: 15, Seed: 6}
+	q := seq.Tandem(spec) // zero divergence: exact copies
+	res, err := topalign.Find(q.Codes, topalign.Config{Params: proteinParams, NumTops: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MinPairs 15 drops the weak trailing alignments that smear copy
+	// boundaries into the flanks — the boundary vagueness the paper's
+	// future-work section discusses.
+	fams, err := Delineate(q.Len(), res.Tops, Options{MinPairs: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) == 0 {
+		t.Fatal("no families found")
+	}
+	f := fams[0]
+	// For an *exact* tandem the strongest alignment pairs the doubled
+	// unit (the paper's future-work example: AACAACAACAAC delineates as
+	// two AACAAC just as validly as four AAC), so expect copies whose
+	// boundaries sit on unit-boundary multiples and that tile the
+	// repeat region without overlap.
+	if len(f.Copies) < 2 {
+		t.Fatalf("found %d copies, want >= 2 (copies: %v)", len(f.Copies), f.Copies)
+	}
+	regionStart, regionEnd := spec.FlankLen+1, spec.FlankLen+spec.Copies*spec.UnitLen
+	covered := 0
+	for i, c := range f.Copies {
+		if c.Start < regionStart-2 || c.End > regionEnd+2 {
+			t.Errorf("copy %v outside repeat region [%d,%d]", c, regionStart, regionEnd)
+		}
+		if !nearUnitBoundary(c.Start-1, regionStart-1, spec.UnitLen, 2) ||
+			!nearUnitBoundary(c.End, regionStart-1, spec.UnitLen, 2) {
+			t.Errorf("copy %v boundaries not on unit multiples", c)
+		}
+		if i > 0 && c.Start <= f.Copies[i-1].End {
+			t.Errorf("copies %v and %v overlap", f.Copies[i-1], c)
+		}
+		covered += c.Len()
+	}
+	if region := regionEnd - regionStart + 1; covered < region*8/10 {
+		t.Errorf("copies cover %d of %d region positions", covered, regionEnd-regionStart+1)
+	}
+}
+
+// nearUnitBoundary reports whether pos is within slack of base+k*unit
+// for some integer k.
+func nearUnitBoundary(pos, base, unit, slack int) bool {
+	d := (pos - base) % unit
+	if d < 0 {
+		d += unit
+	}
+	return d <= slack || unit-d <= slack
+}
+
+// Two distinct repeat families in one sequence must not be merged.
+func TestDelineateTwoFamilies(t *testing.T) {
+	// Hand-built top alignments: family A at 1-10/11-20, family B at
+	// 50-60/70-80 — disjoint, never overlapping.
+	tops := []topalign.TopAlignment{
+		{Index: 1, Score: 50, Pairs: pairRange(1, 11, 10)},
+		{Index: 2, Score: 40, Pairs: pairRange(50, 70, 11)},
+	}
+	fams, err := Delineate(100, tops, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("got %d families, want 2: %+v", len(fams), fams)
+	}
+	if fams[0].Score < fams[1].Score {
+		t.Error("families not sorted by score")
+	}
+}
+
+// Copies seen by several top alignments must merge, connecting their
+// families transitively.
+func TestDelineateTransitiveFamily(t *testing.T) {
+	tops := []topalign.TopAlignment{
+		{Index: 1, Score: 50, Pairs: pairRange(1, 21, 10)},  // copy A ~ copy B
+		{Index: 2, Score: 45, Pairs: pairRange(22, 41, 10)}, // copy B ~ copy C
+	}
+	fams, err := Delineate(60, tops, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 1 {
+		t.Fatalf("got %d families, want 1 (copy B overlaps both alignments)", len(fams))
+	}
+	if len(fams[0].Copies) != 3 {
+		t.Errorf("got %d copies, want 3: %v", len(fams[0].Copies), fams[0].Copies)
+	}
+	if fams[0].Support != 2 {
+		t.Errorf("support = %d, want 2", fams[0].Support)
+	}
+}
+
+// Tandem re-segmentation: a diverged minisatellite must delineate into
+// unit-sized copies whose boundaries phase-align with the generator's
+// ground truth (the strongest alignment anchors the period grid).
+func TestResegmentTandemMinisatellite(t *testing.T) {
+	spec := seq.TandemSpec{
+		Alpha:    seq.DNA,
+		UnitLen:  11,
+		Copies:   8,
+		FlankLen: 60,
+		Profile:  seq.MutationProfile{SubstRate: 0.08, IndelRate: 0.01, IndelExt: 0.3},
+		Seed:     42,
+	}
+	q := seq.Tandem(spec)
+	res, err := topalign.Find(q.Codes, topalign.Config{
+		Params:  align.Params{Exch: scoring.DNAUnit, Gap: scoring.Gap{Open: 8, Ext: 2}},
+		NumTops: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := Delineate(q.Len(), res.Tops, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) == 0 {
+		t.Fatal("no families")
+	}
+	f := fams[0]
+	if got := f.UnitLen(); got < spec.UnitLen-2 || got > spec.UnitLen+2 {
+		t.Errorf("unit length = %d, want ~%d", got, spec.UnitLen)
+	}
+	// count copies whose boundaries phase-align with ground truth
+	// (61 + 11k), allowing the indel drift the generator introduces
+	aligned := 0
+	for _, c := range f.Copies {
+		if nearUnitBoundary(c.Start-1, spec.FlankLen, spec.UnitLen, 2) {
+			aligned++
+		}
+	}
+	if aligned < 5 {
+		t.Errorf("only %d of %d copies phase-align with the true unit grid: %v",
+			aligned, len(f.Copies), f.Copies)
+	}
+}
+
+// Re-segmentation must not fabricate copies across the gap of an
+// interspersed (non-tandem) family.
+func TestResegmentSkipsInterspersed(t *testing.T) {
+	tops := []topalign.TopAlignment{
+		{Index: 1, Score: 80, Pairs: pairRange(1, 81, 10)}, // copies [1-10] and [81-90]
+	}
+	fams, err := Delineate(100, tops, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 1 || len(fams[0].Copies) != 2 {
+		t.Fatalf("families = %+v", fams)
+	}
+	if fams[0].Copies[0] != (Segment{1, 10}) || fams[0].Copies[1] != (Segment{81, 90}) {
+		t.Errorf("interspersed copies modified: %v", fams[0].Copies)
+	}
+}
+
+// KeepRawCopies must suppress re-segmentation.
+func TestKeepRawCopies(t *testing.T) {
+	// tandem at lag 10 spanning 1..40: collapsed raw copies
+	tops := []topalign.TopAlignment{
+		{Index: 1, Score: 60, Pairs: pairRange(1, 11, 30)}, // [1-30] ~ [11-40]
+	}
+	raw, err := Delineate(50, tops, Options{KeepRawCopies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := Delineate(50, tops, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw[0].Copies) >= len(cut[0].Copies) {
+		t.Errorf("raw %d copies, resegmented %d: expected resegmentation to add copies",
+			len(raw[0].Copies), len(cut[0].Copies))
+	}
+	if got := cut[0].UnitLen(); got != 10 {
+		t.Errorf("resegmented unit = %d, want 10 (the alignment lag)", got)
+	}
+}
+
+func TestDelineateFiltersWeakAlignments(t *testing.T) {
+	tops := []topalign.TopAlignment{
+		{Index: 1, Score: 4, Pairs: []topalign.Pair{{I: 1, J: 5}, {I: 2, J: 6}}}, // 2 pairs < MinPairs
+	}
+	fams, err := Delineate(10, tops, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 0 {
+		t.Errorf("weak alignment produced %d families", len(fams))
+	}
+}
+
+func TestDelineateValidation(t *testing.T) {
+	tops := []topalign.TopAlignment{
+		{Index: 1, Score: 9, Pairs: pairRange(1, 50, 5)}, // J reaches 54 > m
+	}
+	if _, err := Delineate(40, tops, Options{}); err == nil {
+		t.Error("out-of-range pairs accepted")
+	}
+	fams, err := Delineate(40, nil, Options{})
+	if err != nil || fams != nil {
+		t.Errorf("empty input: %v, %v", fams, err)
+	}
+}
+
+func TestSegmentHelpers(t *testing.T) {
+	a := Segment{5, 10}
+	if a.Len() != 6 {
+		t.Errorf("Len = %d", a.Len())
+	}
+	if got := a.overlap(Segment{8, 20}); got != 3 {
+		t.Errorf("overlap = %d, want 3", got)
+	}
+	if got := a.overlap(Segment{11, 20}); got != 0 {
+		t.Errorf("disjoint overlap = %d, want 0", got)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	u := newUF(5)
+	u.union(0, 1)
+	u.union(3, 4)
+	if u.find(0) != u.find(1) || u.find(3) != u.find(4) {
+		t.Error("union failed")
+	}
+	if u.find(0) == u.find(3) {
+		t.Error("separate sets merged")
+	}
+	u.union(1, 3)
+	if u.find(0) != u.find(4) {
+		t.Error("transitive union failed")
+	}
+}
+
+// pairRange builds n diagonal pairs (i0+k, j0+k).
+func pairRange(i0, j0, n int) []topalign.Pair {
+	out := make([]topalign.Pair, n)
+	for k := 0; k < n; k++ {
+		out[k] = topalign.Pair{I: i0 + k, J: j0 + k}
+	}
+	return out
+}

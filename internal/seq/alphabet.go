@@ -1,0 +1,120 @@
+// Package seq provides biological sequence types, alphabets, FASTA I/O,
+// and seeded synthetic sequence generators used throughout the repository.
+//
+// Sequences are stored in encoded form: each residue is a small integer
+// code (an index into the alphabet) so that exchange-matrix lookups in the
+// alignment kernels are direct array accesses.
+package seq
+
+import "fmt"
+
+// Alphabet maps residue letters to small integer codes and back.
+// The zero value is not usable; construct with NewAlphabet or use one of
+// the package-level alphabets (Protein, DNA).
+type Alphabet struct {
+	name    string
+	letters []byte
+	index   [256]int8 // -1 for letters not in the alphabet
+}
+
+// NewAlphabet builds an alphabet from a name and the ordered set of
+// residue letters. Lower-case input letters are mapped to the same code as
+// their upper-case counterparts. Duplicate letters are an error.
+func NewAlphabet(name string, letters string) (*Alphabet, error) {
+	if len(letters) == 0 {
+		return nil, fmt.Errorf("seq: alphabet %q has no letters", name)
+	}
+	if len(letters) > 127 {
+		return nil, fmt.Errorf("seq: alphabet %q has %d letters; max 127", name, len(letters))
+	}
+	a := &Alphabet{name: name, letters: []byte(letters)}
+	for i := range a.index {
+		a.index[i] = -1
+	}
+	for i, c := range []byte(letters) {
+		if a.index[c] != -1 {
+			return nil, fmt.Errorf("seq: alphabet %q: duplicate letter %q", name, c)
+		}
+		a.index[c] = int8(i)
+		if c >= 'A' && c <= 'Z' {
+			lower := c + 'a' - 'A'
+			if a.index[lower] == -1 {
+				a.index[lower] = int8(i)
+			}
+		}
+	}
+	return a, nil
+}
+
+// mustAlphabet is NewAlphabet for package-level constants.
+func mustAlphabet(name, letters string) *Alphabet {
+	a, err := NewAlphabet(name, letters)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Name returns the alphabet's name.
+func (a *Alphabet) Name() string { return a.name }
+
+// Len returns the number of distinct residue codes.
+func (a *Alphabet) Len() int { return len(a.letters) }
+
+// Code returns the code for letter c, or -1 if c is not in the alphabet.
+func (a *Alphabet) Code(c byte) int8 { return a.index[c] }
+
+// Letter returns the letter for code k. It panics if k is out of range.
+func (a *Alphabet) Letter(k byte) byte { return a.letters[k] }
+
+// Letters returns the ordered residue letters. The caller must not modify
+// the returned slice.
+func (a *Alphabet) Letters() []byte { return a.letters }
+
+// Encode converts a residue string into codes. Unknown letters yield an
+// error naming the first offending byte and its position.
+func (a *Alphabet) Encode(s string) ([]byte, error) {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		k := a.index[s[i]]
+		if k < 0 {
+			return nil, fmt.Errorf("seq: letter %q at position %d is not in alphabet %s", s[i], i+1, a.name)
+		}
+		out[i] = byte(k)
+	}
+	return out, nil
+}
+
+// MustEncode is Encode but panics on unknown letters. Intended for
+// literals in tests and examples.
+func (a *Alphabet) MustEncode(s string) []byte {
+	out, err := a.Encode(s)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Decode converts codes back into a residue string. Codes out of range
+// decode to '?'.
+func (a *Alphabet) Decode(codes []byte) string {
+	out := make([]byte, len(codes))
+	for i, k := range codes {
+		if int(k) < len(a.letters) {
+			out[i] = a.letters[k]
+		} else {
+			out[i] = '?'
+		}
+	}
+	return string(out)
+}
+
+// Standard alphabets.
+//
+// Protein uses the 20 standard amino acids plus B (Asx), Z (Glx) and
+// X (unknown), in the residue order used by the embedded exchange
+// matrices in package scoring.
+var (
+	Protein = mustAlphabet("protein", "ARNDCQEGHILKMFPSTWYVBZX")
+	DNA     = mustAlphabet("dna", "ACGTN")
+)

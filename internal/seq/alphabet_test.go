@@ -1,0 +1,136 @@
+package seq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAlphabetRejectsDuplicates(t *testing.T) {
+	if _, err := NewAlphabet("bad", "ABCA"); err == nil {
+		t.Fatal("expected error for duplicate letter")
+	}
+}
+
+func TestNewAlphabetRejectsEmpty(t *testing.T) {
+	if _, err := NewAlphabet("bad", ""); err == nil {
+		t.Fatal("expected error for empty alphabet")
+	}
+}
+
+func TestNewAlphabetRejectsOversize(t *testing.T) {
+	letters := make([]byte, 128)
+	for i := range letters {
+		letters[i] = byte(i + 1)
+	}
+	if _, err := NewAlphabet("bad", string(letters)); err == nil {
+		t.Fatal("expected error for >127 letters")
+	}
+}
+
+func TestProteinAlphabetBasics(t *testing.T) {
+	if got := Protein.Len(); got != 23 {
+		t.Fatalf("Protein.Len() = %d, want 23", got)
+	}
+	if Protein.Code('A') != 0 {
+		t.Errorf("Code('A') = %d, want 0", Protein.Code('A'))
+	}
+	if Protein.Code('a') != Protein.Code('A') {
+		t.Errorf("lower-case code %d != upper-case code %d", Protein.Code('a'), Protein.Code('A'))
+	}
+	if Protein.Code('1') != -1 {
+		t.Errorf("Code('1') = %d, want -1", Protein.Code('1'))
+	}
+	if Protein.Letter(byte(Protein.Code('W'))) != 'W' {
+		t.Error("Letter(Code('W')) != 'W'")
+	}
+}
+
+func TestDNAAlphabetBasics(t *testing.T) {
+	if got := DNA.Len(); got != 5 {
+		t.Fatalf("DNA.Len() = %d, want 5", got)
+	}
+	for i, c := range []byte("ACGTN") {
+		if int(DNA.Code(c)) != i {
+			t.Errorf("DNA.Code(%q) = %d, want %d", c, DNA.Code(c), i)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "A", "ACDEFGHIKLMNPQRSTVWY", "BZX", "MGEKALVPYR"} {
+		codes, err := Protein.Encode(s)
+		if err != nil {
+			t.Fatalf("Encode(%q): %v", s, err)
+		}
+		if got := Protein.Decode(codes); got != s {
+			t.Errorf("round trip of %q = %q", s, got)
+		}
+	}
+}
+
+func TestEncodeRejectsUnknownLetters(t *testing.T) {
+	if _, err := Protein.Encode("ACD1EF"); err == nil {
+		t.Fatal("expected error for digit in protein sequence")
+	}
+	if _, err := DNA.Encode("ACGU"); err == nil {
+		t.Fatal("expected error for U in DNA sequence")
+	}
+}
+
+func TestDecodeOutOfRangeCode(t *testing.T) {
+	if got := DNA.Decode([]byte{0, 99, 1}); got != "A?C" {
+		t.Errorf("Decode with bad code = %q, want A?C", got)
+	}
+}
+
+// Property: Decode(Encode(s)) == upper(s) for strings drawn from the
+// alphabet's letters.
+func TestEncodeDecodeProperty(t *testing.T) {
+	letters := Protein.Letters()
+	f := func(picks []uint8) bool {
+		raw := make([]byte, len(picks))
+		for i, p := range picks {
+			raw[i] = letters[int(p)%len(letters)]
+		}
+		codes, err := Protein.Encode(string(raw))
+		if err != nil {
+			return false
+		}
+		return Protein.Decode(codes) == string(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequencePrefix(t *testing.T) {
+	q := MustNew("x", DNA, "ACGTACGT")
+	p := q.Prefix(3)
+	if p.String() != "ACG" {
+		t.Errorf("Prefix(3) = %q, want ACG", p.String())
+	}
+	if p.Len() != 3 {
+		t.Errorf("Prefix(3).Len() = %d, want 3", p.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Prefix beyond length did not panic")
+		}
+	}()
+	q.Prefix(9)
+}
+
+func TestSequenceValidate(t *testing.T) {
+	q := MustNew("ok", DNA, "ACGT")
+	if err := q.Validate(); err != nil {
+		t.Errorf("valid sequence: %v", err)
+	}
+	q.Codes[2] = 200
+	if err := q.Validate(); err == nil {
+		t.Error("expected error for out-of-range code")
+	}
+	bad := &Sequence{ID: "nil-alpha"}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for nil alphabet")
+	}
+}

@@ -1,0 +1,110 @@
+package seq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadFASTA parses all records from r, encoding each under alpha.
+// Blank lines are ignored; '*' terminators and whitespace inside sequence
+// lines are stripped. An error names the record and line that failed.
+func ReadFASTA(r io.Reader, alpha *Alphabet) ([]*Sequence, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	var (
+		out     []*Sequence
+		id      string
+		desc    string
+		body    strings.Builder
+		started bool
+		lineNo  int
+	)
+	flush := func() error {
+		if !started {
+			return nil
+		}
+		q, err := New(id, alpha, body.String())
+		if err != nil {
+			return err
+		}
+		q.Desc = desc
+		out = append(out, q)
+		body.Reset()
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '>' {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			started = true
+			header := string(line[1:])
+			if sp := strings.IndexAny(header, " \t"); sp >= 0 {
+				id, desc = header[:sp], strings.TrimSpace(header[sp+1:])
+			} else {
+				id, desc = header, ""
+			}
+			if id == "" {
+				return nil, fmt.Errorf("seq: fasta line %d: empty record identifier", lineNo)
+			}
+			continue
+		}
+		if !started {
+			return nil, fmt.Errorf("seq: fasta line %d: sequence data before first '>' header", lineNo)
+		}
+		for _, c := range line {
+			switch {
+			case c == '*' || c == ' ' || c == '\t':
+				// terminator or stray whitespace: skip
+			default:
+				body.WriteByte(c)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: reading fasta: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("seq: fasta input contains no records")
+	}
+	return out, nil
+}
+
+// WriteFASTA writes records to w with lines wrapped at width columns
+// (60 if width <= 0).
+func WriteFASTA(w io.Writer, width int, records ...*Sequence) error {
+	if width <= 0 {
+		width = 60
+	}
+	bw := bufio.NewWriter(w)
+	for _, q := range records {
+		if q.Desc != "" {
+			fmt.Fprintf(bw, ">%s %s\n", q.ID, q.Desc)
+		} else {
+			fmt.Fprintf(bw, ">%s\n", q.ID)
+		}
+		s := q.String()
+		for len(s) > width {
+			bw.WriteString(s[:width])
+			bw.WriteByte('\n')
+			s = s[width:]
+		}
+		if len(s) > 0 {
+			bw.WriteString(s)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,92 @@
+package seq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadFASTASingle(t *testing.T) {
+	in := ">titin human titin fragment\nMGEKALVPYR\nLQHCERST\n"
+	recs, err := ReadFASTA(strings.NewReader(in), Protein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	q := recs[0]
+	if q.ID != "titin" || q.Desc != "human titin fragment" {
+		t.Errorf("header parsed as id=%q desc=%q", q.ID, q.Desc)
+	}
+	if q.String() != "MGEKALVPYRLQHCERST" {
+		t.Errorf("body = %q", q.String())
+	}
+}
+
+func TestReadFASTAMultipleAndBlankLines(t *testing.T) {
+	in := "\n>a\nACGT\n\n>b second\nTT\nGG\n\n>c\nA\n"
+	recs, err := ReadFASTA(strings.NewReader(in), DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[1].String() != "TTGG" {
+		t.Errorf("record b = %q, want TTGG", recs[1].String())
+	}
+}
+
+func TestReadFASTAStripsTerminator(t *testing.T) {
+	recs, err := ReadFASTA(strings.NewReader(">x\nACG T*\n"), DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].String() != "ACGT" {
+		t.Errorf("got %q, want ACGT", recs[0].String())
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"data before header", "ACGT\n>x\nACGT\n"},
+		{"empty id", "> desc only\nACGT\n"},
+		{"bad letter", ">x\nACGU\n"},
+		{"empty input", ""},
+		{"headers only", ">x\n"}, // empty body encodes fine; expect no error? see below
+	}
+	for _, c := range cases[:4] {
+		if _, err := ReadFASTA(strings.NewReader(c.in), DNA); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// A header with an empty body is a zero-length record, not an error.
+	recs, err := ReadFASTA(strings.NewReader(">x\n"), DNA)
+	if err != nil || len(recs) != 1 || recs[0].Len() != 0 {
+		t.Errorf("empty body: recs=%v err=%v", recs, err)
+	}
+}
+
+func TestWriteFASTARoundTrip(t *testing.T) {
+	q := Random(Protein, 257, 7)
+	q.ID, q.Desc = "rt", "round trip"
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, 60, q); err != nil {
+		t.Fatal(err)
+	}
+	// check wrapping actually happened (before the reader drains the buffer)
+	if lines := bytes.Count(buf.Bytes(), []byte{'\n'}); lines < 5 {
+		t.Errorf("expected wrapped output, got %d lines", lines)
+	}
+	recs, err := ReadFASTA(&buf, Protein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].ID != "rt" || recs[0].Desc != "round trip" {
+		t.Errorf("header lost: %q %q", recs[0].ID, recs[0].Desc)
+	}
+	if recs[0].String() != q.String() {
+		t.Error("body not preserved through write/read")
+	}
+}

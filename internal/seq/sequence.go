@@ -1,0 +1,66 @@
+package seq
+
+import "fmt"
+
+// Sequence is an encoded biological sequence together with its alphabet
+// and FASTA-style identity.
+type Sequence struct {
+	ID    string
+	Desc  string
+	Alpha *Alphabet
+	Codes []byte // residue codes, indices into Alpha
+}
+
+// New encodes s under alpha and returns the resulting Sequence.
+func New(id string, alpha *Alphabet, s string) (*Sequence, error) {
+	codes, err := alpha.Encode(s)
+	if err != nil {
+		return nil, fmt.Errorf("seq %q: %w", id, err)
+	}
+	return &Sequence{ID: id, Alpha: alpha, Codes: codes}, nil
+}
+
+// MustNew is New but panics on encoding errors; for literals in tests and
+// examples.
+func MustNew(id string, alpha *Alphabet, s string) *Sequence {
+	q, err := New(id, alpha, s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Len returns the number of residues.
+func (q *Sequence) Len() int { return len(q.Codes) }
+
+// String decodes the sequence back into residue letters.
+func (q *Sequence) String() string { return q.Alpha.Decode(q.Codes) }
+
+// Prefix returns a view of the first n residues as a new Sequence sharing
+// the underlying code slice. It panics if n exceeds the length.
+func (q *Sequence) Prefix(n int) *Sequence {
+	if n > len(q.Codes) {
+		panic(fmt.Sprintf("seq: prefix %d of sequence of length %d", n, len(q.Codes)))
+	}
+	return &Sequence{
+		ID:    fmt.Sprintf("%s/1-%d", q.ID, n),
+		Desc:  q.Desc,
+		Alpha: q.Alpha,
+		Codes: q.Codes[:n:n],
+	}
+}
+
+// Validate checks that every code is within the alphabet's range.
+func (q *Sequence) Validate() error {
+	if q.Alpha == nil {
+		return fmt.Errorf("seq %q: nil alphabet", q.ID)
+	}
+	n := q.Alpha.Len()
+	for i, k := range q.Codes {
+		if int(k) >= n {
+			return fmt.Errorf("seq %q: code %d at position %d out of range for alphabet %s (%d letters)",
+				q.ID, k, i+1, q.Alpha.Name(), n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package seq
+
+import "testing"
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(Protein, 100, 42)
+	b := Random(Protein, 100, 42)
+	if a.String() != b.String() {
+		t.Error("same seed produced different sequences")
+	}
+	c := Random(Protein, 100, 43)
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical sequences")
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomUsesOnlyPrimaryLetters(t *testing.T) {
+	q := Random(Protein, 2000, 1)
+	for _, c := range q.Codes {
+		if c >= 20 {
+			t.Fatalf("random protein contains ambiguity code %d", c)
+		}
+	}
+	d := Random(DNA, 2000, 1)
+	for _, c := range d.Codes {
+		if c >= 4 {
+			t.Fatalf("random DNA contains N (code %d)", c)
+		}
+	}
+}
+
+func TestTandemStructure(t *testing.T) {
+	spec := TandemSpec{
+		Alpha:    DNA,
+		UnitLen:  10,
+		Copies:   5,
+		FlankLen: 7,
+		Seed:     3,
+		// no mutations: copies must be exact
+	}
+	q := Tandem(spec)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := 2*spec.FlankLen + spec.Copies*spec.UnitLen
+	if q.Len() != want {
+		t.Fatalf("len = %d, want %d", q.Len(), want)
+	}
+	body := q.String()[spec.FlankLen : spec.FlankLen+spec.Copies*spec.UnitLen]
+	unit := body[:spec.UnitLen]
+	for c := 1; c < spec.Copies; c++ {
+		if body[c*spec.UnitLen:(c+1)*spec.UnitLen] != unit {
+			t.Fatalf("copy %d differs from unit with zero mutation rate", c)
+		}
+	}
+}
+
+func TestTandemDivergedCopiesDiffer(t *testing.T) {
+	q := Tandem(TandemSpec{
+		Alpha: Protein, UnitLen: 50, Copies: 4,
+		Profile: DefaultDivergence, Seed: 11,
+	})
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// with indels the length is only approximately Copies*UnitLen
+	if q.Len() < 150 || q.Len() > 260 {
+		t.Errorf("diverged tandem length %d outside plausible range", q.Len())
+	}
+}
+
+func TestSyntheticTitinProperties(t *testing.T) {
+	q := SyntheticTitin(3000, 1)
+	if q.Len() != 3000 {
+		t.Fatalf("len = %d, want 3000", q.Len())
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// determinism
+	if q.String() != SyntheticTitin(3000, 1).String() {
+		t.Error("SyntheticTitin not deterministic")
+	}
+	// prefix property: a shorter sequence with the same seed is a prefix
+	// of a longer one, mirroring "the first n amino acids in titin"
+	p := SyntheticTitin(1000, 1)
+	if q.String()[:1000] != p.String() {
+		t.Error("SyntheticTitin(1000) is not a prefix of SyntheticTitin(3000)")
+	}
+}
+
+func TestPaperATGC(t *testing.T) {
+	q := PaperATGC()
+	if q.String() != "ATGCATGCATGC" {
+		t.Errorf("PaperATGC = %q", q.String())
+	}
+}

@@ -1,0 +1,30 @@
+package seq
+
+import (
+	"os"
+	"testing"
+)
+
+func TestReadFASTAFromFile(t *testing.T) {
+	f, err := os.Open("testdata/examples.fasta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ReadFASTA(f, DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].ID != "fig4" || recs[0].String() != "ATGCATGCATGC" {
+		t.Errorf("record 0 = %s %q", recs[0].ID, recs[0].String())
+	}
+	if recs[1].String() != "AACAACAACAAC" {
+		t.Errorf("record 1 = %q", recs[1].String())
+	}
+	if recs[2].Len() != 33 {
+		t.Errorf("record 2 length = %d", recs[2].Len())
+	}
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilCountersAreSafe(t *testing.T) {
+	var c *Counters
+	c.AddAlignment(100, true)
+	c.AddTraceback(50)
+	c.AddShadowEnds(3)
+	c.AddQueueSkip()
+	if s := c.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("nil counters snapshot = %+v", s)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	c := &Counters{}
+	c.AddAlignment(100, false)
+	c.AddAlignment(200, true)
+	c.AddTraceback(50)
+	c.AddShadowEnds(2)
+	c.AddShadowEnds(0) // no-op
+	c.AddQueueSkip()
+	s := c.Snapshot()
+	if s.Alignments != 2 || s.Realignments != 1 || s.Cells != 350 ||
+		s.Tracebacks != 1 || s.ShadowEnds != 2 || s.QueueSkips != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := &Counters{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.AddAlignment(1, j%2 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Alignments != 8000 || s.Cells != 8000 || s.Realignments != 4000 {
+		t.Errorf("concurrent snapshot = %+v", s)
+	}
+}
+
+func TestRealignmentReduction(t *testing.T) {
+	s := Snapshot{Realignments: 50}
+	// 10 tops over 100 splits: potential = 9*100 = 900; 50 done -> 94.4%
+	got := s.RealignmentReduction(100, 10)
+	if got < 0.944 || got > 0.945 {
+		t.Errorf("reduction = %f", got)
+	}
+	if s.RealignmentReduction(100, 1) != 0 {
+		t.Error("single top should report 0 reduction")
+	}
+	if s.RealignmentReduction(0, 5) != 0 {
+		t.Error("zero splits should report 0")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{Alignments: 5, Cells: 10}
+	out := s.String()
+	if !strings.Contains(out, "alignments=5") || !strings.Contains(out, "cells=10") {
+		t.Errorf("String() = %q", out)
+	}
+}

@@ -1,0 +1,34 @@
+package swar
+
+import "testing"
+
+// Op microbenchmarks: the per-word cost of the packed operators explains
+// why SWAR cannot match hardware SSE (a packed MAX is several ALU ops
+// here versus one instruction there; see EXPERIMENTS.md).
+
+var sinkU64 uint64
+
+func BenchmarkMax(b *testing.B) {
+	x := Pack([Lanes]uint16{100, 2000, 30, 16000})
+	y := Pack([Lanes]uint16{200, 1000, 40, 15000})
+	for i := 0; i < b.N; i++ {
+		sinkU64 = Max(x, sinkU64^y)
+	}
+}
+
+func BenchmarkAddBiasClamp0(b *testing.B) {
+	a := Pack([Lanes]uint16{100, 2000, 30, 15000})
+	e := Splat(256 - 4)
+	bias := Splat(256)
+	for i := 0; i < b.N; i++ {
+		sinkU64 = AddBiasClamp0(a^(sinkU64&1), e, bias)
+	}
+}
+
+func BenchmarkSubSat(b *testing.B) {
+	a := Pack([Lanes]uint16{100, 2000, 30, 15000})
+	c := Splat(11)
+	for i := 0; i < b.N; i++ {
+		sinkU64 = SubSat(a^(sinkU64&1), c)
+	}
+}

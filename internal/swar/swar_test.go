@@ -1,0 +1,162 @@
+package swar
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplatPackUnpackLane(t *testing.T) {
+	w := Splat(0x1234)
+	for i := 0; i < Lanes; i++ {
+		if Lane(w, i) != 0x1234 {
+			t.Errorf("lane %d of splat = %#x", i, Lane(w, i))
+		}
+	}
+	v := [Lanes]uint16{1, 2, 3, 0x7fff}
+	w = Pack(v)
+	if Unpack(w) != v {
+		t.Errorf("Unpack(Pack(%v)) = %v", v, Unpack(w))
+	}
+	for i, want := range v {
+		if Lane(w, i) != want {
+			t.Errorf("Lane(%d) = %d, want %d", i, Lane(w, i), want)
+		}
+	}
+}
+
+// laneRand15 draws four random lane values with the guard bit clear.
+func laneRand15(r *rand.Rand) [Lanes]uint16 {
+	var v [Lanes]uint16
+	for i := range v {
+		v[i] = uint16(r.IntN(1 << 15))
+	}
+	return v
+}
+
+// laneRand16 draws four random full-width lane values.
+func laneRand16(r *rand.Rand) [Lanes]uint16 {
+	var v [Lanes]uint16
+	for i := range v {
+		v[i] = uint16(r.IntN(1 << 16))
+	}
+	return v
+}
+
+func TestAddSubModAgainstScalar(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for n := 0; n < 10000; n++ {
+		a, b := laneRand16(r), laneRand16(r)
+		gotAdd := Unpack(AddMod(Pack(a), Pack(b)))
+		gotSub := Unpack(SubMod(Pack(a), Pack(b)))
+		for i := 0; i < Lanes; i++ {
+			if gotAdd[i] != a[i]+b[i] {
+				t.Fatalf("AddMod lane %d: %d+%d = %d, want %d", i, a[i], b[i], gotAdd[i], a[i]+b[i])
+			}
+			if gotSub[i] != a[i]-b[i] {
+				t.Fatalf("SubMod lane %d: %d-%d = %d, want %d", i, a[i], b[i], gotSub[i], a[i]-b[i])
+			}
+		}
+	}
+}
+
+func TestComparisonOpsAgainstScalar(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	for n := 0; n < 10000; n++ {
+		a, b := laneRand15(r), laneRand15(r)
+		wa, wb := Pack(a), Pack(b)
+		ge := Unpack(GEMask(wa, wb))
+		mx := Unpack(Max(wa, wb))
+		mn := Unpack(Min(wa, wb))
+		ss := Unpack(SubSat(wa, wb))
+		for i := 0; i < Lanes; i++ {
+			wantGE := uint16(0)
+			if a[i] >= b[i] {
+				wantGE = 0xFFFF
+			}
+			if ge[i] != wantGE {
+				t.Fatalf("GEMask lane %d: %d>=%d -> %#x", i, a[i], b[i], ge[i])
+			}
+			if want := max(a[i], b[i]); mx[i] != want {
+				t.Fatalf("Max lane %d: max(%d,%d) = %d", i, a[i], b[i], mx[i])
+			}
+			if want := min(a[i], b[i]); mn[i] != want {
+				t.Fatalf("Min lane %d: min(%d,%d) = %d", i, a[i], b[i], mn[i])
+			}
+			want := uint16(0)
+			if a[i] >= b[i] {
+				want = a[i] - b[i]
+			}
+			if ss[i] != want {
+				t.Fatalf("SubSat lane %d: %d-%d = %d, want %d", i, a[i], b[i], ss[i], want)
+			}
+		}
+	}
+}
+
+func TestAddBiasClamp0(t *testing.T) {
+	const bias = 256
+	biasW := Splat(bias)
+	r := rand.New(rand.NewPCG(5, 6))
+	for n := 0; n < 10000; n++ {
+		var a [Lanes]uint16
+		var e [Lanes]int16
+		for i := range a {
+			a[i] = uint16(r.IntN(16000))
+			e[i] = int16(r.IntN(2*bias) - bias)
+		}
+		var eb [Lanes]uint16
+		for i := range eb {
+			eb[i] = uint16(int(e[i]) + bias)
+		}
+		got := Unpack(AddBiasClamp0(Pack(a), Pack(eb), biasW))
+		for i := 0; i < Lanes; i++ {
+			want := int(a[i]) + int(e[i])
+			if want < 0 {
+				want = 0
+			}
+			if int(got[i]) != want {
+				t.Fatalf("lane %d: %d + %d = %d, want %d", i, a[i], e[i], got[i], want)
+			}
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	a := Pack([Lanes]uint16{1, 2, 3, 4})
+	b := Pack([Lanes]uint16{10, 20, 30, 40})
+	mask := Pack([Lanes]uint16{0xFFFF, 0, 0xFFFF, 0})
+	got := Unpack(Select(mask, a, b))
+	want := [Lanes]uint16{1, 20, 3, 40}
+	if got != want {
+		t.Errorf("Select = %v, want %v", got, want)
+	}
+}
+
+// Property: Max is commutative, associative, idempotent on guarded lanes.
+func TestMaxProperties(t *testing.T) {
+	mask15 := uint64(0x7FFF_7FFF_7FFF_7FFF)
+	f := func(x, y, z uint64) bool {
+		a, b, c := x&mask15, y&mask15, z&mask15
+		if Max(a, b) != Max(b, a) {
+			return false
+		}
+		if Max(Max(a, b), c) != Max(a, Max(b, c)) {
+			return false
+		}
+		return Max(a, a) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AddMod/SubMod are inverses per lane.
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return SubMod(AddMod(a, b), b) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

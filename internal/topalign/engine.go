@@ -1,0 +1,193 @@
+package topalign
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/multialign"
+	"repro/internal/triangle"
+)
+
+// Engine holds the shared state of a top-alignment computation — the
+// sequence, the override triangle, the original-bottom-row store, and
+// the accepted top alignments — and provides the single-task operations
+// the sequential and parallel drivers are built from.
+//
+// Engine methods are not self-synchronising. AlignScore and
+// AlignGroupScore are pure with respect to the triangle snapshot passed
+// in (the row store is internally locked), so schedulers may run them
+// concurrently; AcceptTop mutates the engine and must be serialised by
+// the caller. The sequential driver simply calls everything in order.
+type Engine struct {
+	s    []byte
+	cfg  Config
+	tri  *triangle.Triangle
+	orig *triangle.RowStore
+	tops []TopAlignment
+}
+
+// NewEngine validates the configuration and prepares the state for
+// sequence s (length >= 2).
+func NewEngine(s []byte, cfg Config) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(s) < 2 {
+		return nil, fmt.Errorf("topalign: sequence length %d too short", len(s))
+	}
+	return &Engine{
+		s:    s,
+		cfg:  cfg,
+		tri:  triangle.New(len(s)),
+		orig: triangle.NewRowStore(len(s)),
+	}, nil
+}
+
+// Len returns the sequence length m.
+func (e *Engine) Len() int { return len(e.s) }
+
+// NumSplits returns the number of split tasks, m-1.
+func (e *Engine) NumSplits() int { return len(e.s) - 1 }
+
+// Config returns the normalised configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// NumTopsFound returns the number of accepted top alignments so far.
+func (e *Engine) NumTopsFound() int { return len(e.tops) }
+
+// Tops returns the accepted top alignments in acceptance order. The
+// caller must not modify the returned slice.
+func (e *Engine) Tops() []TopAlignment { return e.tops }
+
+// Triangle returns the current override triangle. It is mutated by
+// AcceptTop; concurrent readers must use TriangleSnapshot instead.
+func (e *Engine) Triangle() *triangle.Triangle { return e.tri }
+
+// TriangleSnapshot returns an immutable copy of the current triangle for
+// concurrent realignment.
+func (e *Engine) TriangleSnapshot() *triangle.Triangle { return e.tri.Clone() }
+
+// OrigRows exposes the original-bottom-row store (the distributed master
+// serves replicas from it).
+func (e *Engine) OrigRows() *triangle.RowStore { return e.orig }
+
+// AlignScore aligns split r score-only against the given triangle and
+// returns the split's score: the maximum over valid bottom-row endings
+// after shadow rejection. On a task's first alignment the triangle is
+// ignored (first alignments always see the empty triangle — every task
+// is aligned once before the first acceptance, see Find) and the bottom
+// row is recorded as the split's original row.
+func (e *Engine) AlignScore(r int, tri *triangle.Triangle) int32 {
+	s1, s2 := e.s[:r], e.s[r:]
+	orig, have := e.orig.Get(r)
+	if !have {
+		row := e.scoreScalar(s1, s2, nil, r)
+		e.orig.Put(r, row)
+		e.cfg.Counters.AddAlignment(align.Cells(len(s1), len(s2)), false)
+		_, score, _ := align.BestValidEnd(row, nil)
+		return score
+	}
+	row := e.scoreScalar(s1, s2, tri, r)
+	e.cfg.Counters.AddAlignment(align.Cells(len(s1), len(s2)), true)
+	_, score, rejected := align.BestValidEnd(row, orig)
+	e.cfg.Counters.AddShadowEnds(rejected)
+	return score
+}
+
+// scoreScalar dispatches to the plain or striped scalar kernel.
+func (e *Engine) scoreScalar(s1, s2 []byte, tri *triangle.Triangle, r int) []int32 {
+	if e.cfg.Striped {
+		return align.ScoreStriped(e.cfg.Params, s1, s2, tri, r, e.cfg.StripeWidth)
+	}
+	return align.ScoreMasked(e.cfg.Params, s1, s2, tri, r)
+}
+
+// AlignGroupScore aligns the fixed group of GroupLanes neighbouring
+// splits starting at r0 against the given triangle and returns one score
+// per member (member i is split r0+i; members beyond the last split get
+// score 0). First-time members have their original rows recorded.
+// Groups are computed with the exact ILP kernel (multialign), falling
+// back to the scalar kernel only on an internal error.
+func (e *Engine) AlignGroupScore(r0 int, tri *triangle.Triangle) []int32 {
+	lanes := e.cfg.GroupLanes
+	m := len(e.s)
+	scores := make([]int32, lanes)
+
+	// First alignments must see the empty triangle. Within a group all
+	// members share alignment history (they are always aligned
+	// together), so checking the first member suffices.
+	first := false
+	if _, have := e.orig.Get(r0); !have {
+		first = true
+		tri = nil
+	}
+
+	g, err := multialign.ScoreGroupAuto(e.cfg.Params, e.s, r0, lanes, tri)
+	if err != nil {
+		// scalar fallback, member by member
+		for i := 0; i < lanes; i++ {
+			r := r0 + i
+			if r > m-1 {
+				break
+			}
+			scores[i] = e.AlignScore(r, tri)
+		}
+		return scores
+	}
+	for i := 0; i < lanes; i++ {
+		r := r0 + i
+		if r > m-1 {
+			break
+		}
+		row := g.Bottoms[i]
+		if first {
+			e.orig.Put(r, row)
+			e.cfg.Counters.AddAlignment(align.Cells(r, m-r), false)
+			_, scores[i], _ = align.BestValidEnd(row, nil)
+			continue
+		}
+		orig, _ := e.orig.Get(r)
+		e.cfg.Counters.AddAlignment(align.Cells(r, m-r), true)
+		var rejected int64
+		_, scores[i], rejected = align.BestValidEnd(row, orig)
+		e.cfg.Counters.AddShadowEnds(rejected)
+	}
+	return scores
+}
+
+// AcceptTop accepts split r's current alignment as the next top
+// alignment: it recomputes the full matrix against the current triangle,
+// tracebacks from the best valid ending, marks the path's residue pairs
+// in the triangle, and records the result. The returned alignment's
+// pairs are in global coordinates.
+func (e *Engine) AcceptTop(r int) (TopAlignment, error) {
+	s1, s2 := e.s[:r], e.s[r:]
+	orig, have := e.orig.Get(r)
+	if !have {
+		return TopAlignment{}, fmt.Errorf("topalign: accepting split %d that was never aligned", r)
+	}
+	mtx := align.Matrix(e.cfg.Params, s1, s2, e.tri, r)
+	e.cfg.Counters.AddTraceback(align.Cells(len(s1), len(s2)))
+	endX, score, _ := align.BestValidEnd(mtx[r][1:], orig)
+	if endX == 0 || score <= 0 {
+		return TopAlignment{}, fmt.Errorf("topalign: split %d has no valid alignment to accept", r)
+	}
+	a, err := align.Traceback(e.cfg.Params, mtx, s1, s2, e.tri, r, endX)
+	if err != nil {
+		return TopAlignment{}, fmt.Errorf("topalign: split %d: %w", r, err)
+	}
+	top := TopAlignment{
+		Index: len(e.tops) + 1,
+		Split: r,
+		Score: a.Score,
+		Pairs: make([]Pair, len(a.Pairs)),
+	}
+	for i, p := range a.Pairs {
+		gp := Pair{I: p.Y, J: r + p.X}
+		top.Pairs[i] = gp
+		e.tri.Set(gp.I, gp.J)
+	}
+	e.tops = append(e.tops, top)
+	return top, nil
+}

@@ -1,0 +1,111 @@
+// Package topalign implements the paper's primary contribution: the
+// O(n^3) sequential algorithm for computing nonoverlapping top
+// alignments (Section 3 and Appendix A), around three ideas:
+//
+//   - overriding zeros: residue pairs already part of a top alignment are
+//     recorded in an override triangle and force matrix entries to zero
+//     during realignment, so new alignments cannot reuse them;
+//   - a best-first task queue: a split's score from an older triangle is
+//     an upper bound under the current one, so realignments are ordered
+//     by stale score and most never happen (typically 90-97% avoided);
+//   - shadow rejection: each split's bottom row from its first (unmasked)
+//     alignment is stored; a realignment ending whose value differs was
+//     artificially rerouted around an existing alignment and is invalid.
+//
+// The package provides the sequential driver (Find) and an Engine with
+// the single-task operations the shared-memory and distributed
+// schedulers in packages parallel and cluster are built from.
+package topalign
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/align"
+	"repro/internal/stats"
+)
+
+// Infinity is the initial task score: every split must be aligned once
+// before it can possibly be accepted (Figure 5 initialises all scores to
+// infinity).
+const Infinity = int32(math.MaxInt32)
+
+// Pair is a matched residue pair of a top alignment, in global sequence
+// positions (1-based, I < J).
+type Pair struct {
+	I, J int
+}
+
+// TopAlignment is one accepted nonoverlapping top alignment.
+type TopAlignment struct {
+	Index int    // 1-based acceptance order
+	Split int    // the split r whose matrix produced the alignment
+	Score int32  // alignment score
+	Pairs []Pair // matched global position pairs, path order
+}
+
+// Overlaps reports whether two top alignments share a matched pair.
+func (t TopAlignment) Overlaps(o TopAlignment) bool {
+	set := make(map[Pair]bool, len(t.Pairs))
+	for _, p := range t.Pairs {
+		set[p] = true
+	}
+	for _, p := range o.Pairs {
+		if set[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// Config controls a top-alignment computation.
+type Config struct {
+	// Params is the scoring model (exchange matrix + affine gaps).
+	Params align.Params
+	// NumTops is the number of top alignments requested (the paper
+	// typically uses 10-50). Fewer may be returned if scores dry up.
+	NumTops int
+	// MinScore stops the search once no remaining alignment can reach
+	// it. Zero means 1 (any positive-scoring alignment qualifies).
+	MinScore int32
+	// GroupLanes selects the SIMD-style neighbour-group scheduling of
+	// Section 4.1: 0 or 1 aligns one matrix per task, 4 or 8 align a
+	// fixed group of neighbouring matrices per task using the SWAR
+	// kernels.
+	GroupLanes int
+	// Striped selects the cache-aware vertical-stripe kernel for
+	// scalar score-only alignments.
+	Striped bool
+	// StripeWidth overrides the stripe width (0 = default).
+	StripeWidth int
+	// Counters receives instrumentation; may be nil.
+	Counters *stats.Counters
+}
+
+// withDefaults validates and normalises a Config.
+func (c Config) withDefaults() (Config, error) {
+	if err := c.Params.Validate(); err != nil {
+		return c, err
+	}
+	if c.NumTops < 1 {
+		return c, fmt.Errorf("topalign: NumTops %d must be at least 1", c.NumTops)
+	}
+	if c.MinScore <= 0 {
+		c.MinScore = 1
+	}
+	switch c.GroupLanes {
+	case 0, 1:
+		c.GroupLanes = 1
+	case 4, 8:
+	default:
+		return c, fmt.Errorf("topalign: GroupLanes %d must be 0, 1, 4, or 8", c.GroupLanes)
+	}
+	return c, nil
+}
+
+// Result is the outcome of a Find run.
+type Result struct {
+	SeqLen int
+	Tops   []TopAlignment
+	Stats  stats.Snapshot
+}

@@ -1,0 +1,87 @@
+package triangle
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RowStore holds the bottom row of each split's first alignment (computed
+// with an empty override triangle). These original rows are the reference
+// for shadow-alignment rejection: on realignment, a bottom-row cell is a
+// valid alignment ending only if its value equals the stored original.
+//
+// Storing all rows needs m(m-1)/2 entries in total (the paper's largest
+// data structure, ~1.2 GB for full-length titin as shorts). Rows are
+// allocated lazily as splits are first aligned. RowStore is safe for
+// concurrent use; in the distributed runner the master owns the full
+// store and slaves keep a RowStore as an on-demand cache.
+type RowStore struct {
+	mu   sync.RWMutex
+	m    int
+	rows [][]int32 // indexed by split r (1..m-1); rows[r] has m-r entries
+}
+
+// NewRowStore returns an empty store for sequence length m.
+func NewRowStore(m int) *RowStore {
+	if m < 2 {
+		panic(fmt.Sprintf("triangle: sequence length %d too short", m))
+	}
+	return &RowStore{m: m, rows: make([][]int32, m)}
+}
+
+// Put stores the original bottom row for split r, copying the input.
+// A second Put for the same split is ignored: the original row never
+// changes once computed (the paper computes it exactly once, with the
+// empty triangle).
+func (s *RowStore) Put(r int, row []int32) {
+	if r < 1 || r >= s.m {
+		panic(fmt.Sprintf("triangle: split %d out of range for m=%d", r, s.m))
+	}
+	if len(row) != s.m-r {
+		panic(fmt.Sprintf("triangle: split %d row has %d entries, want %d", r, len(row), s.m-r))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rows[r] != nil {
+		return
+	}
+	cp := make([]int32, len(row))
+	copy(cp, row)
+	s.rows[r] = cp
+}
+
+// Get returns the stored row for split r, or (nil, false) if the split
+// has not been aligned yet. The returned slice must not be modified.
+func (s *RowStore) Get(r int) ([]int32, bool) {
+	if r < 1 || r >= s.m {
+		return nil, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	row := s.rows[r]
+	return row, row != nil
+}
+
+// Len returns the number of splits with a stored row.
+func (s *RowStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, row := range s.rows {
+		if row != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Bytes returns the approximate memory footprint of the stored rows.
+func (s *RowStore) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var b int64
+	for _, row := range s.rows {
+		b += int64(len(row)) * 4
+	}
+	return b
+}

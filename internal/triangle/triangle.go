@@ -1,0 +1,188 @@
+// Package triangle provides the override triangle of the paper's
+// top-alignment algorithm — a bitset over residue position pairs (i, j)
+// with 1 <= i < j <= m — plus the triangular bottom-row store used for
+// shadow-alignment rejection (Appendix A of the paper).
+//
+// Pairs are laid out row-major by i, so that for a fixed prefix position
+// i the suffix positions j are contiguous. The alignment kernel for split
+// r walks local coordinates (y, x) which map to the global pair
+// (y, r+x); with this layout the kernel reads a contiguous bit run per
+// matrix row.
+package triangle
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Triangle is a set of position pairs (i, j), 1 <= i < j <= m.
+// The zero value is unusable; construct with New. Triangle is not
+// self-synchronising: concurrent readers are safe only while no writer is
+// active (the parallel schedulers publish immutable snapshots instead).
+type Triangle struct {
+	m     int
+	words []uint64
+	count int
+}
+
+// New returns an empty triangle over sequence length m (m >= 2).
+func New(m int) *Triangle {
+	if m < 2 {
+		panic(fmt.Sprintf("triangle: sequence length %d too short", m))
+	}
+	n := m * (m - 1) / 2
+	return &Triangle{m: m, words: make([]uint64, (n+63)/64)}
+}
+
+// M returns the sequence length the triangle is defined over.
+func (t *Triangle) M() int { return t.m }
+
+// Pairs returns the total number of representable pairs, m(m-1)/2.
+func (t *Triangle) Pairs() int { return t.m * (t.m - 1) / 2 }
+
+// Count returns the number of pairs currently set.
+func (t *Triangle) Count() int { return t.count }
+
+// RowOffset returns the raw index of pair (i, i+1): the start of row i.
+// Row i covers indices RowOffset(i) .. RowOffset(i)+(m-i-1) for
+// j = i+1 .. m, consecutively.
+func (t *Triangle) RowOffset(i int) int {
+	// sum_{k=1}^{i-1} (m-k) = (i-1)*m - i*(i-1)/2
+	return (i-1)*t.m - i*(i-1)/2
+}
+
+// Index returns the raw index of pair (i, j). It panics if the pair is
+// out of range or not strictly ordered.
+func (t *Triangle) Index(i, j int) int {
+	if i < 1 || j <= i || j > t.m {
+		panic(fmt.Sprintf("triangle: pair (%d,%d) invalid for m=%d", i, j, t.m))
+	}
+	return t.RowOffset(i) + (j - i - 1)
+}
+
+// Set marks pair (i, j).
+func (t *Triangle) Set(i, j int) {
+	idx := t.Index(i, j)
+	w, b := idx>>6, uint(idx&63)
+	if t.words[w]&(1<<b) == 0 {
+		t.words[w] |= 1 << b
+		t.count++
+	}
+}
+
+// Get reports whether pair (i, j) is marked.
+func (t *Triangle) Get(i, j int) bool {
+	idx := t.Index(i, j)
+	return t.words[idx>>6]&(1<<uint(idx&63)) != 0
+}
+
+// GetAt reports whether the pair at raw index idx is marked. This is the
+// kernel fast path; idx must come from Index or RowOffset arithmetic.
+func (t *Triangle) GetAt(idx int) bool {
+	return t.words[idx>>6]&(1<<uint(idx&63)) != 0
+}
+
+// RowEmpty reports whether the index range [from, from+n) contains no
+// marked pair. Kernels use it to skip override checks for untouched rows.
+func (t *Triangle) RowEmpty(from, n int) bool {
+	if n <= 0 {
+		return true
+	}
+	to := from + n // exclusive
+	wFrom, wTo := from>>6, (to-1)>>6
+	if wFrom == wTo {
+		mask := (^uint64(0) << uint(from&63)) & (^uint64(0) >> uint(63-(to-1)&63))
+		return t.words[wFrom]&mask == 0
+	}
+	if t.words[wFrom]&(^uint64(0)<<uint(from&63)) != 0 {
+		return false
+	}
+	for w := wFrom + 1; w < wTo; w++ {
+		if t.words[w] != 0 {
+			return false
+		}
+	}
+	return t.words[wTo]&(^uint64(0)>>uint(63-(to-1)&63)) == 0
+}
+
+// Clone returns an independent copy. The parallel schedulers use clones
+// as immutable published snapshots.
+func (t *Triangle) Clone() *Triangle {
+	cp := &Triangle{m: t.m, words: make([]uint64, len(t.words)), count: t.count}
+	copy(cp.words, t.words)
+	return cp
+}
+
+// Equal reports whether two triangles mark exactly the same pairs.
+func (t *Triangle) Equal(o *Triangle) bool {
+	if t.m != o.m {
+		return false
+	}
+	for i, w := range t.words {
+		if o.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// recount recomputes the population count (used after bulk loads).
+func (t *Triangle) recount() {
+	c := 0
+	for _, w := range t.words {
+		c += bits.OnesCount64(w)
+	}
+	t.count = c
+}
+
+// MarshalBinary serialises the triangle (length + raw words) for the
+// distributed runner's replica broadcasts.
+func (t *Triangle) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 8+8*len(t.words))
+	putUint64(buf[0:], uint64(t.m))
+	for i, w := range t.words {
+		putUint64(buf[8+8*i:], w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a triangle serialised by MarshalBinary.
+func (t *Triangle) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("triangle: short data (%d bytes)", len(data))
+	}
+	m := int(getUint64(data[0:]))
+	if m < 2 {
+		return fmt.Errorf("triangle: invalid length %d", m)
+	}
+	n := m * (m - 1) / 2
+	words := (n + 63) / 64
+	if len(data) != 8+8*words {
+		return fmt.Errorf("triangle: data size %d does not match m=%d", len(data), m)
+	}
+	t.m = m
+	t.words = make([]uint64, words)
+	for i := range t.words {
+		t.words[i] = getUint64(data[8+8*i:])
+	}
+	t.recount()
+	return nil
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func getUint64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,290 @@
+// Package repro finds internal repeats in biological sequences.
+//
+// It is a from-scratch Go reproduction of the system described in
+// "A Million-Fold Speed Improvement in Genomic Repeats Detection"
+// (Romein, Heringa, Bal; SC 2003): the O(n^3) nonoverlapping
+// top-alignment algorithm that replaced the original Repro method's
+// O(n^4) computation, its three levels of parallelism, and the repeat
+// delineation the top alignments feed.
+//
+// Basic use:
+//
+//	report, err := repro.Analyze("titin", sequence, repro.Options{NumTops: 25})
+//	for _, top := range report.Tops { ... }
+//	for _, fam := range report.Families { ... }
+//
+// Options select the execution engine: sequential (default),
+// shared-memory workers (Workers > 1), or an in-process master/slave
+// cluster (Slaves > 0) that exercises the same protocol as the
+// repromaster/reproworker binaries.
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/align"
+	"repro/internal/cluster"
+	"repro/internal/parallel"
+	"repro/internal/repeats"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+	"repro/internal/stats"
+	"repro/internal/topalign"
+)
+
+// DefaultNumTops is the number of top alignments computed when Options
+// leaves NumTops zero. The paper: "typically 10-30, some more for large
+// sequences".
+const DefaultNumTops = 20
+
+// Options configures an analysis. The zero value gives a sequential
+// protein analysis with BLOSUM62, affine gaps 10+k, and DefaultNumTops
+// top alignments.
+type Options struct {
+	// Matrix names the exchange matrix: "BLOSUM62" (default), "PAM250",
+	// "dna-unit", or "paper-dna". The matrix determines the alphabet.
+	Matrix string
+	// GapOpen and GapExt define the affine gap cost Open + k*Ext.
+	// Both zero selects the matrix's conventional defaults.
+	GapOpen, GapExt int
+	// NumTops is the number of top alignments to compute (0 = default).
+	NumTops int
+	// MinScore stops the search when no remaining alignment reaches it.
+	MinScore int
+	// Lanes enables SIMD-style neighbour-group alignment: 4 or 8
+	// (0 or 1 = scalar).
+	Lanes int
+	// Striped selects the cache-aware striped kernel.
+	Striped bool
+	// Workers > 1 runs the shared-memory scheduler with that many
+	// goroutines.
+	Workers int
+	// Slaves > 0 runs an in-process master/slave cluster instead, with
+	// ThreadsPerSlave workers per slave.
+	Slaves          int
+	ThreadsPerSlave int
+	// Speculative selects the paper's speculative acceptance rule for
+	// the parallel engines (slightly more work, possibly different
+	// acceptance order among equal-scoring alignments). Off = strict,
+	// bit-identical to sequential.
+	Speculative bool
+	// MinPairs filters top alignments during delineation (0 = default).
+	MinPairs int
+}
+
+// Pair is a matched residue pair (global 1-based positions, I < J).
+type Pair struct {
+	I, J int
+}
+
+// TopAlignment is one nonoverlapping top alignment.
+type TopAlignment struct {
+	Index int // acceptance order, 1-based
+	Split int // the prefix/suffix split whose matrix produced it
+	Score int
+	Pairs []Pair
+}
+
+// RepeatCopy is one copy of a repeat, inclusive 1-based positions.
+type RepeatCopy struct {
+	Start, End int
+}
+
+// RepeatFamily groups the copies of one repeat.
+type RepeatFamily struct {
+	Copies  []RepeatCopy
+	Support int   // top alignments supporting the family
+	Score   int64 // summed alignment scores
+	UnitLen int   // median copy length
+	// Consensus is the per-column majority residue across copies
+	// (empty for single-copy families); Conservation is the mean
+	// fraction of copies agreeing with it.
+	Consensus    string
+	Conservation float64
+}
+
+// Stats summarises the engine work performed.
+type Stats struct {
+	Alignments   int64
+	Realignments int64
+	Tracebacks   int64
+	Cells        int64
+	ShadowEnds   int64
+	// RealignmentReduction is the fraction of potential realignments the
+	// best-first queue avoided (the paper reports 0.90-0.97).
+	RealignmentReduction float64
+}
+
+// Report is the result of one analysis.
+type Report struct {
+	SeqID string
+	// Residues is the analysed sequence (normalised to the alphabet's
+	// canonical letters), so reports are self-contained for rendering
+	// with FormatAlignment.
+	Residues string
+	SeqLen   int
+	Tops     []TopAlignment
+	Families []RepeatFamily
+	Stats    Stats
+}
+
+// Analyze encodes residues under the matrix's alphabet and runs the
+// configured engine.
+func Analyze(id, residues string, opt Options) (*Report, error) {
+	exch, err := resolveMatrix(opt.Matrix)
+	if err != nil {
+		return nil, err
+	}
+	q, err := seq.New(id, exch.Alphabet(), residues)
+	if err != nil {
+		return nil, err
+	}
+	return analyze(q, exch, opt)
+}
+
+// AnalyzeFASTA runs one analysis per FASTA record in r.
+func AnalyzeFASTA(r io.Reader, opt Options) ([]*Report, error) {
+	exch, err := resolveMatrix(opt.Matrix)
+	if err != nil {
+		return nil, err
+	}
+	records, err := seq.ReadFASTA(r, exch.Alphabet())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Report, 0, len(records))
+	for _, rec := range records {
+		rep, err := analyze(rec, exch, opt)
+		if err != nil {
+			return nil, fmt.Errorf("repro: record %q: %w", rec.ID, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+func resolveMatrix(name string) (*scoring.Matrix, error) {
+	if name == "" {
+		name = "BLOSUM62"
+	}
+	exch, ok := scoring.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown exchange matrix %q (have BLOSUM62, PAM250, dna-unit, paper-dna)", name)
+	}
+	return exch, nil
+}
+
+// defaultGap returns the conventional gap model for a matrix.
+func defaultGap(exch *scoring.Matrix) scoring.Gap {
+	switch exch.Name() {
+	case "paper-dna":
+		return scoring.PaperGap
+	case "dna-unit":
+		return scoring.Gap{Open: 8, Ext: 2}
+	default:
+		return scoring.DefaultProteinGap
+	}
+}
+
+func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error) {
+	gap := defaultGap(exch)
+	if opt.GapOpen != 0 || opt.GapExt != 0 {
+		gap = scoring.Gap{Open: int32(opt.GapOpen), Ext: int32(opt.GapExt)}
+	}
+	numTops := opt.NumTops
+	if numTops == 0 {
+		numTops = DefaultNumTops
+	}
+	counters := &stats.Counters{}
+	cfg := topalign.Config{
+		Params:     align.Params{Exch: exch, Gap: gap},
+		NumTops:    numTops,
+		MinScore:   int32(opt.MinScore),
+		GroupLanes: opt.Lanes,
+		Striped:    opt.Striped,
+		Counters:   counters,
+	}
+
+	var (
+		res *topalign.Result
+		err error
+	)
+	switch {
+	case opt.Slaves > 0:
+		res, err = cluster.RunLocal(q.Codes, cluster.Config{Top: cfg, Speculative: opt.Speculative},
+			cluster.LocalSpec{Slaves: opt.Slaves, ThreadsPerSlave: opt.ThreadsPerSlave})
+	case opt.Workers > 1:
+		res, err = parallel.Find(q.Codes, cfg,
+			parallel.Config{Workers: opt.Workers, Speculative: opt.Speculative})
+	default:
+		res, err = topalign.Find(q.Codes, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	fams, err := repeats.Delineate(q.Len(), res.Tops, repeats.Options{MinPairs: opt.MinPairs})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{SeqID: q.ID, Residues: q.String(), SeqLen: q.Len()}
+	for _, top := range res.Tops {
+		t := TopAlignment{Index: top.Index, Split: top.Split, Score: int(top.Score),
+			Pairs: make([]Pair, len(top.Pairs))}
+		for i, p := range top.Pairs {
+			t.Pairs[i] = Pair{I: p.I, J: p.J}
+		}
+		rep.Tops = append(rep.Tops, t)
+	}
+	for _, f := range fams {
+		rf := RepeatFamily{Support: f.Support, Score: f.Score, UnitLen: f.UnitLen(),
+			Copies: make([]RepeatCopy, len(f.Copies))}
+		for i, c := range f.Copies {
+			rf.Copies[i] = RepeatCopy{Start: c.Start, End: c.End}
+		}
+		if cons, err := repeats.DeriveConsensus(q.Codes, f); err == nil {
+			rf.Consensus = exch.Alphabet().Decode(cons.Codes)
+			rf.Conservation = cons.MeanConservation()
+		}
+		rep.Families = append(rep.Families, rf)
+	}
+	snap := counters.Snapshot()
+	rep.Stats = Stats{
+		Alignments:   snap.Alignments,
+		Realignments: snap.Realignments,
+		Tracebacks:   snap.Tracebacks,
+		Cells:        snap.Cells,
+		ShadowEnds:   snap.ShadowEnds,
+	}
+	if len(rep.Tops) > 1 {
+		rep.Stats.RealignmentReduction = snap.RealignmentReduction(q.Len()-1, len(rep.Tops))
+	}
+	return rep, nil
+}
+
+// WriteReport pretty-prints a report in the reprocli output format.
+func WriteReport(w io.Writer, rep *Report) error {
+	if _, err := fmt.Fprintf(w, "sequence %s (%d residues): %d top alignments, %d repeat families\n",
+		rep.SeqID, rep.SeqLen, len(rep.Tops), len(rep.Families)); err != nil {
+		return err
+	}
+	for _, top := range rep.Tops {
+		first, last := top.Pairs[0], top.Pairs[len(top.Pairs)-1]
+		fmt.Fprintf(w, "  top %2d: score %6d  split %5d  %d pairs  [%d-%d] ~ [%d-%d]\n",
+			top.Index, top.Score, top.Split, len(top.Pairs),
+			first.I, last.I, first.J, last.J)
+	}
+	for i, fam := range rep.Families {
+		fmt.Fprintf(w, "  family %d: %d copies, unit ~%d, support %d, score %d\n",
+			i+1, len(fam.Copies), fam.UnitLen, fam.Support, fam.Score)
+		if fam.Consensus != "" {
+			fmt.Fprintf(w, "    consensus %s (%.0f%% conserved)\n", fam.Consensus, 100*fam.Conservation)
+		}
+		for _, c := range fam.Copies {
+			fmt.Fprintf(w, "    copy [%d-%d] (%d residues)\n", c.Start, c.End, c.End-c.Start+1)
+		}
+	}
+	return nil
+}
