@@ -34,6 +34,10 @@ func main() {
 		lanes    = flag.Int("lanes", 0, "SIMD-style group lanes (0, 4, 8)")
 		spec     = flag.Bool("speculative", true, "speculative acceptance (paper mode)")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "worker connection timeout")
+
+		hbInterval  = flag.Duration("hb-interval", 2*time.Second, "heartbeat interval (negative disables)")
+		hbTimeout   = flag.Duration("hb-timeout", 8*time.Second, "declare a worker dead after this much silence")
+		taskTimeout = flag.Duration("task-timeout", 30*time.Second, "re-dispatch a task unanswered for this long (0 disables)")
 	)
 	flag.Parse()
 
@@ -62,7 +66,11 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "repromaster: waiting for %d workers on %s...\n", *slaves, *addr)
-	comm, err := mpi.ListenTCP(*addr, *slaves+1, *timeout)
+	opts := mpi.DefaultTCPOptions()
+	opts.AcceptTimeout = *timeout
+	opts.HeartbeatInterval = *hbInterval
+	opts.HeartbeatTimeout = *hbTimeout
+	comm, err := mpi.ListenTCPOpts(*addr, *slaves+1, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -77,6 +85,7 @@ func main() {
 			GroupLanes: *lanes,
 		},
 		Speculative: *spec,
+		TaskTimeout: *taskTimeout,
 	}
 	t0 := time.Now()
 	res, err := cluster.RunMaster(comm, q.Codes, cfg)

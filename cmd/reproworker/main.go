@@ -3,11 +3,19 @@
 // scoring configuration, and serves alignment tasks with the requested
 // number of worker threads (one process per SMP node, one thread per
 // CPU, as in the paper).
+//
+// The worker is crash-tolerant on both ends: it dials the master with
+// exponential backoff plus jitter (workers are typically launched
+// before or alongside the master), and if the master connection drops
+// mid-run it reconnects and rejoins under a fresh rank instead of
+// exiting, until the retry budget is exhausted.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"runtime"
 	"time"
@@ -18,34 +26,62 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7946", "repromaster address")
-		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
-		timeout = flag.Duration("timeout", time.Minute, "connection timeout")
+		addr       = flag.String("addr", "127.0.0.1:7946", "repromaster address")
+		threads    = flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
+		timeout    = flag.Duration("timeout", time.Minute, "retry budget for (re)connecting to the master")
+		rejoin     = flag.Bool("rejoin", true, "reconnect and rejoin after losing the master mid-run")
+		hbInterval = flag.Duration("hb-interval", 2*time.Second, "heartbeat interval (negative disables)")
+		hbTimeout  = flag.Duration("hb-timeout", 8*time.Second, "declare the master dead after this much silence")
 	)
 	flag.Parse()
 
-	// Retry until the master is up (workers are typically launched
-	// before or alongside the master).
-	var comm mpi.Comm
-	var err error
-	deadline := time.Now().Add(*timeout)
+	opts := mpi.DefaultTCPOptions()
+	opts.HeartbeatInterval = *hbInterval
+	opts.HeartbeatTimeout = *hbTimeout
+
 	for {
-		comm, err = mpi.DialTCP(*addr, *timeout)
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
+		comm, err := dialRetry(*addr, *timeout, opts)
+		if err != nil {
 			fatal(err)
 		}
-		time.Sleep(250 * time.Millisecond)
+		fmt.Fprintf(os.Stderr, "reproworker: connected as rank %d of %d, %d threads\n",
+			comm.Rank(), comm.Size(), *threads)
+		err = cluster.RunSlave(comm, *threads)
+		comm.Close()
+		switch {
+		case err == nil:
+			fmt.Fprintln(os.Stderr, "reproworker: done")
+			return
+		case errors.Is(err, cluster.ErrMasterDown) && *rejoin:
+			fmt.Fprintln(os.Stderr, "reproworker: master connection lost; attempting to rejoin")
+		default:
+			fatal(err)
+		}
 	}
-	defer comm.Close()
-	fmt.Fprintf(os.Stderr, "reproworker: connected as rank %d of %d, %d threads\n",
-		comm.Rank(), comm.Size(), *threads)
-	if err := cluster.RunSlave(comm, *threads); err != nil {
-		fatal(err)
+}
+
+// dialRetry dials the master with exponential backoff plus full jitter
+// until a connection succeeds or the budget elapses; the jitter keeps a
+// fleet of restarting workers from stampeding the master in lockstep.
+func dialRetry(addr string, budget time.Duration, opts mpi.TCPOptions) (mpi.Comm, error) {
+	deadline := time.Now().Add(budget)
+	backoff := 200 * time.Millisecond
+	const maxBackoff = 5 * time.Second
+	for {
+		attempt := min(maxBackoff, time.Until(deadline))
+		if attempt <= 0 {
+			attempt = time.Second
+		}
+		comm, err := mpi.DialTCPOpts(addr, attempt, opts)
+		if err == nil {
+			return comm, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("retry budget exhausted: %w", err)
+		}
+		time.Sleep(backoff/2 + rand.N(backoff/2))
+		backoff = min(2*backoff, maxBackoff)
 	}
-	fmt.Fprintln(os.Stderr, "reproworker: done")
 }
 
 func fatal(err error) {

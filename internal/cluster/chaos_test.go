@@ -1,0 +1,339 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/mpi/faultcomm"
+	"repro/internal/seq"
+	"repro/internal/topalign"
+)
+
+// The flagship chaos run: four slaves where one crashes mid-run
+// (KillAfterSends), one straggles — its results are delayed past the
+// master's TaskTimeout, forcing speculative re-dispatch and duplicate
+// deduplication — and two lose 1% of the original-row replies they
+// asked for (recovered by the slave's row re-request timer). Strict
+// mode must still produce top alignments bit-identical to the
+// sequential algorithm.
+func TestClusterChaosStrictBitIdentical(t *testing.T) {
+	q := seq.SyntheticTitin(120, 3)
+	want, err := topalign.Find(q.Codes, topCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	world := mpi.NewLocal(5)
+	faults := []faultcomm.Config{
+		{Seed: 11, KillAfterSends: 25},
+		{Seed: 22, DelaySend: []faultcomm.Rule{{Tag: tagResult, Prob: 0.05, Delay: 250 * time.Millisecond}}},
+		{Seed: 33, DropRecv: []faultcomm.Rule{{Tag: tagRow, Prob: 0.01}}},
+		{Seed: 44, DropRecv: []faultcomm.Rule{{Tag: tagRow, Prob: 0.01}}},
+	}
+	var wg sync.WaitGroup
+	for i, fc := range faults {
+		comm := faultcomm.Wrap(world[i+1], fc)
+		wg.Add(1)
+		go func(rank int, c mpi.Comm) {
+			defer wg.Done()
+			defer c.Close()
+			// The killed slave exits via ErrClosed (mapped to nil); the
+			// others must run clean or merely lose the master at shutdown.
+			if err := RunSlave(c, 1); err != nil && !errors.Is(err, ErrMasterDown) {
+				t.Errorf("slave %d: %v", rank, err)
+			}
+		}(i+1, comm)
+	}
+	got, err := RunMaster(world[0], q.Codes,
+		Config{Top: topCfg(5), TaskTimeout: 100 * time.Millisecond})
+	world[0].Close()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTops(t, got.Tops, want.Tops)
+}
+
+// All slaves crash mid-run at different points: the master must notice
+// each death, requeue the orphaned tasks, and finish the whole queue
+// with its own engine — still bit-identical in strict mode.
+func TestClusterChaosAllSlavesDieFallsBack(t *testing.T) {
+	q := seq.SyntheticTitin(90, 2)
+	want, err := topalign.Find(q.Codes, topCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	world := mpi.NewLocal(4)
+	var wg sync.WaitGroup
+	for i, kill := range []int{5, 9, 13} {
+		comm := faultcomm.Wrap(world[i+1], faultcomm.Config{Seed: uint64(i + 1), KillAfterSends: kill})
+		wg.Add(1)
+		go func(c mpi.Comm) {
+			defer wg.Done()
+			defer c.Close()
+			RunSlave(c, 1) // dies by design
+		}(comm)
+	}
+	got, err := RunMaster(world[0], q.Codes, Config{Top: topCfg(4)})
+	world[0].Close()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("master did not fall back locally: %v", err)
+	}
+	assertSameTops(t, got.Tops, want.Tops)
+}
+
+// Every result is transmitted twice: the master must drop the second
+// copy without minting a phantom idle slot for it (which would
+// over-dispatch past the slave's thread count), and strict-mode results
+// must be unchanged.
+func TestClusterDuplicateResultsDeduped(t *testing.T) {
+	q := seq.SyntheticTitin(100, 2)
+	want, err := topalign.Find(q.Codes, topCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	world := mpi.NewLocal(3)
+	var wg sync.WaitGroup
+	for i := 1; i <= 2; i++ {
+		comm := faultcomm.Wrap(world[i], faultcomm.Config{
+			Seed:    uint64(i),
+			DupSend: []faultcomm.Rule{{Tag: tagResult, Prob: 1}},
+		})
+		wg.Add(1)
+		go func(rank int, c mpi.Comm) {
+			defer wg.Done()
+			defer c.Close()
+			if err := RunSlave(c, 1); err != nil && !errors.Is(err, ErrMasterDown) {
+				t.Errorf("slave %d: %v", rank, err)
+			}
+		}(i, comm)
+	}
+	got, err := RunMaster(world[0], q.Codes, Config{Top: topCfg(4)})
+	world[0].Close()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTops(t, got.Tops, want.Tops)
+}
+
+// A slave that rejects the setup must fail the run with a diagnostic
+// naming the refusal, and the master must release the slave with stop.
+func TestClusterRefusedSetupFailsRun(t *testing.T) {
+	q := seq.SyntheticTitin(60, 1)
+	world := mpi.NewLocal(2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := world[1]
+		defer c.Close()
+		msg, err := c.Recv()
+		if err != nil || msg.Tag != tagSetup {
+			t.Errorf("fake slave: expected setup, got %+v (%v)", msg, err)
+			return
+		}
+		c.Send(0, tagRefused, []byte("no such matrix"))
+		for {
+			msg, err := c.Recv()
+			if err != nil || msg.Tag == tagStop {
+				return
+			}
+			_ = msg
+		}
+	}()
+	_, err := RunMaster(world[0], q.Codes, Config{Top: topCfg(2)})
+	world[0].Close()
+	wg.Wait()
+	if err == nil || !strings.Contains(err.Error(), "refused") {
+		t.Fatalf("master error = %v, want setup refusal", err)
+	}
+}
+
+// When the master aborts on a protocol error it must broadcast stop so
+// healthy slaves exit cleanly instead of hanging on Recv.
+func TestClusterMasterErrorBroadcastsStop(t *testing.T) {
+	q := seq.SyntheticTitin(60, 1)
+	world := mpi.NewLocal(3)
+	slaveErr := make(chan error, 1)
+	go func() { // healthy slave, rank 1
+		defer world[1].Close()
+		slaveErr <- RunSlave(world[1], 1)
+	}()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // rogue slave, rank 2: speaks an unknown application tag
+		defer wg.Done()
+		c := world[2]
+		defer c.Close()
+		msg, err := c.Recv()
+		if err != nil || msg.Tag != tagSetup {
+			return
+		}
+		c.Send(0, tagReady, nil)
+		c.Send(0, 200, nil)
+		for {
+			if msg, err := c.Recv(); err != nil || msg.Tag == tagStop {
+				return
+			} else {
+				_ = msg
+			}
+		}
+	}()
+	_, err := RunMaster(world[0], q.Codes, Config{Top: topCfg(2)})
+	if err == nil {
+		t.Fatal("master accepted an unexpected tag")
+	}
+	select {
+	case serr := <-slaveErr:
+		if serr != nil && !errors.Is(serr, ErrMasterDown) {
+			t.Errorf("healthy slave exited with %v, want clean stop", serr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("healthy slave did not stop after master error")
+	}
+	world[0].Close()
+	wg.Wait()
+}
+
+// recvErrComm delegates to an inner Comm but fails Recv after a fixed
+// number of deliveries, while Send keeps working — modelling a master
+// whose receive path breaks but can still reach its slaves.
+type recvErrComm struct {
+	mpi.Comm
+	after int
+	n     int
+}
+
+func (c *recvErrComm) Recv() (mpi.Message, error) {
+	if c.n >= c.after {
+		return mpi.Message{}, errors.New("injected recv failure")
+	}
+	c.n++
+	return c.Comm.Recv()
+}
+
+// A master whose Recv fails mid-run must broadcast stop before
+// returning the error, so slaves exit cleanly instead of hanging.
+func TestClusterMasterRecvErrorBroadcastsStop(t *testing.T) {
+	q := seq.SyntheticTitin(60, 1)
+	world := mpi.NewLocal(2)
+	slaveErr := make(chan error, 1)
+	go func() {
+		defer world[1].Close()
+		slaveErr <- RunSlave(world[1], 1)
+	}()
+	_, err := RunMaster(&recvErrComm{Comm: world[0], after: 3}, q.Codes, Config{Top: topCfg(2)})
+	if err == nil || !strings.Contains(err.Error(), "injected recv failure") {
+		t.Fatalf("master error = %v, want injected recv failure", err)
+	}
+	select {
+	case serr := <-slaveErr:
+		if serr != nil && !errors.Is(serr, ErrMasterDown) {
+			t.Errorf("slave exited with %v, want clean stop", serr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("slave did not stop after master recv error")
+	}
+	world[0].Close()
+}
+
+// End-to-end rejoin over TCP: one worker crashes mid-run and a
+// replacement process dials the still-listening master, which
+// provisions it (setup + accepted-top replay) and puts it to work. The
+// run completes with exact results.
+func TestClusterTCPWorkerRejoin(t *testing.T) {
+	q := seq.SyntheticTitin(120, 4)
+	want, err := topalign.Find(q.Codes, topCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addr := freeAddr(t)
+	opts := mpi.DefaultTCPOptions()
+	opts.AcceptTimeout = 5 * time.Second
+	masterCh := make(chan mpi.Comm, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		m, err := mpi.ListenTCPOpts(addr, 3, opts)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		masterCh <- m
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // healthy worker
+		defer wg.Done()
+		w, err := mpi.DialTCP(addr, 5*time.Second)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		defer w.Close()
+		if err := RunSlave(w, 1); err != nil && !errors.Is(err, ErrMasterDown) {
+			t.Errorf("healthy worker: %v", err)
+		}
+	}()
+	wg.Add(1)
+	go func() { // crashing worker, then its replacement
+		defer wg.Done()
+		w, err := mpi.DialTCP(addr, 5*time.Second)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		fc := faultcomm.Wrap(w, faultcomm.Config{Seed: 7, KillAfterSends: 10})
+		RunSlave(fc, 1) // dies by design after ~9 results
+		w.Close()
+		r, err := mpi.DialTCP(addr, 5*time.Second)
+		if err != nil {
+			// The run may already have completed on the healthy worker.
+			t.Logf("replacement dial: %v", err)
+			return
+		}
+		defer r.Close()
+		if err := RunSlave(r, 1); err != nil && !errors.Is(err, ErrMasterDown) {
+			t.Errorf("replacement worker: %v", err)
+		}
+	}()
+
+	var master mpi.Comm
+	select {
+	case master = <-masterCh:
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("master did not start")
+	}
+	got, err := RunMaster(master, q.Codes, Config{Top: topCfg(5)})
+	master.Close()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTops(t, got.Tops, want.Tops)
+}
+
+// freeAddr returns a loopback address with an unused port.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}

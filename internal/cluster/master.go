@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/mpi"
 	"repro/internal/topalign"
@@ -17,6 +18,12 @@ type Config struct {
 	// of the queue while results are still in flight). Off = strict
 	// mode, bit-identical to the sequential algorithm.
 	Speculative bool
+	// TaskTimeout bounds how long the master waits for a dispatched
+	// task before speculatively re-sending it to an idle slot on
+	// another slave (the straggler defence). Whichever copy answers
+	// first wins; the laggard's result is deduplicated, so strict-mode
+	// determinism is unaffected. 0 disables re-dispatch.
+	TaskTimeout time.Duration
 }
 
 // RunMaster drives a cluster computation from rank 0: it ships the
@@ -25,6 +32,13 @@ type Config struct {
 // runs on the master as in the paper), and broadcasts triangle updates.
 // It returns when the requested top alignments are found or no further
 // alignment reaches MinScore.
+//
+// The run tolerates partial failure: a dead slave's tasks are requeued,
+// overdue tasks are speculatively re-dispatched (TaskTimeout),
+// replacement workers that join mid-run (mpi.TagJoin) are provisioned
+// with the setup and the accepted-top history, and if every slave dies
+// the master finishes the remaining queue with its own engine instead
+// of failing the run.
 func RunMaster(comm mpi.Comm, s []byte, cfg Config) (*topalign.Result, error) {
 	if comm.Rank() != 0 {
 		return nil, fmt.Errorf("cluster: RunMaster called on rank %d", comm.Rank())
@@ -34,31 +48,41 @@ func RunMaster(comm mpi.Comm, s []byte, cfg Config) (*topalign.Result, error) {
 		return nil, err
 	}
 	m := &master{
-		comm:     comm,
-		e:        e,
-		cfg:      cfg,
-		queue:    topalign.InitialQueue(e),
-		assigned: make(map[int]map[int]*topalign.Task),
-		live:     make(map[int]bool),
+		comm:    comm,
+		e:       e,
+		cfg:     cfg,
+		queue:   topalign.InitialQueue(e),
+		flights: make(map[int]*flight),
+		owed:    make(map[int]map[int]bool),
+		live:    make(map[int]bool),
 	}
 	return m.run(s)
 }
 
+// flight is one task currently dispatched to at least one slave.
+type flight struct {
+	t        *topalign.Task
+	owners   map[int]bool // slave ranks working on the task
+	deadline time.Time    // when the task becomes a straggler
+}
+
 type master struct {
-	comm     mpi.Comm
-	e        *topalign.Engine
-	cfg      Config
-	queue    *topalign.TaskQueue
-	assigned map[int]map[int]*topalign.Task // slave rank -> task R -> task
-	slots    []int                          // idle worker slots (slave ranks, FIFO)
-	inflight int
-	live     map[int]bool
-	done     bool
+	comm    mpi.Comm
+	e       *topalign.Engine
+	cfg     Config
+	queue   *topalign.TaskQueue
+	flights map[int]*flight // task R -> outstanding dispatch
+	slots   []int           // idle worker slots (slave ranks, FIFO)
+	owed    map[int]map[int]bool // slave rank -> task Rs dispatched to it, not yet credited back
+	live    map[int]bool
+	done    bool
+	setup   []byte   // encoded msgSetup, re-shipped to late joiners
+	topHist [][]byte // encoded msgTop per accepted top, for rejoin replay
 }
 
 func (m *master) run(s []byte) (*topalign.Result, error) {
 	cfg := m.e.Config()
-	setup := msgSetup{
+	m.setup = msgSetup{
 		Seq:      s,
 		Matrix:   cfg.Params.Exch.Name(),
 		GapOpen:  cfg.Params.Gap.Open,
@@ -67,22 +91,58 @@ func (m *master) run(s []byte) (*topalign.Result, error) {
 		Lanes:    uint8(cfg.GroupLanes),
 		Striped:  cfg.Striped,
 	}.encode()
-	for rank := 1; rank < m.comm.Size(); rank++ {
-		if err := m.comm.Send(rank, tagSetup, setup); err != nil {
+	size := m.comm.Size() // snapshot: later joiners arrive via TagJoin
+	for rank := 1; rank < size; rank++ {
+		if err := m.comm.Send(rank, tagSetup, m.setup); err != nil {
 			return nil, fmt.Errorf("cluster: setup to rank %d: %w", rank, err)
 		}
 		m.live[rank] = true
-		m.assigned[rank] = make(map[int]*topalign.Task)
+	}
+
+	// Pump Recv into a channel so the scheduler can also react to the
+	// straggler ticker. The quit channel stops the pump when the run
+	// ends; a Recv blocked at that point unblocks once the caller
+	// closes the Comm.
+	type recvItem struct {
+		msg mpi.Message
+		err error
+	}
+	msgs := make(chan recvItem)
+	quit := make(chan struct{})
+	defer close(quit)
+	go func() {
+		for {
+			msg, err := m.comm.Recv()
+			select {
+			case msgs <- recvItem{msg, err}:
+			case <-quit:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	var tickC <-chan time.Time
+	if m.cfg.TaskTimeout > 0 {
+		tick := time.NewTicker(max(m.cfg.TaskTimeout/4, time.Millisecond))
+		defer tick.Stop()
+		tickC = tick.C
 	}
 
 	for !m.done {
-		msg, err := m.comm.Recv()
-		if err != nil {
-			return nil, fmt.Errorf("cluster: master recv: %w", err)
-		}
-		if err := m.handle(msg); err != nil {
-			m.broadcast(tagStop, nil)
-			return nil, err
+		select {
+		case it := <-msgs:
+			if it.err != nil {
+				m.broadcast(tagStop, nil) // best effort: release any live slave
+				return nil, fmt.Errorf("cluster: master recv: %w", it.err)
+			}
+			if err := m.handle(it.msg); err != nil {
+				m.broadcast(tagStop, nil)
+				return nil, err
+			}
+		case <-tickC:
+			m.redispatchStale()
 		}
 	}
 	m.broadcast(tagStop, nil)
@@ -105,7 +165,16 @@ func (m *master) handle(msg mpi.Message) error {
 		if err := m.handleResult(msg.From, res); err != nil {
 			return err
 		}
-		m.slots = append(m.slots, msg.From)
+		// Credit an idle slot only for a dispatch actually made to this
+		// rank and not yet credited back: a wire-duplicated result must
+		// not mint a phantom slot (the master would over-dispatch past
+		// the slave's thread count and wedge its receive loop), while
+		// the losing copy of a speculative re-dispatch still frees its
+		// sender.
+		if o := m.owed[msg.From]; o[int(res.R)] {
+			delete(o, int(res.R))
+			m.slots = append(m.slots, msg.From)
+		}
 	case tagRowReq:
 		req, err := decodeRow(msg.Data) // msgRow with empty Row doubles as request
 		if err != nil {
@@ -118,12 +187,12 @@ func (m *master) handle(msg mpi.Message) error {
 		return m.comm.Send(msg.From, tagRow, msgRow{R: req.R, Row: row}.encode())
 	case tagRefused:
 		return fmt.Errorf("cluster: slave %d refused setup: %s", msg.From, msg.Data)
+	case mpi.TagJoin:
+		if !m.live[msg.From] {
+			m.admitSlave(msg.From)
+		}
 	case mpi.TagDown:
 		m.handleDown(msg.From)
-		if len(m.live) == 0 && !m.done {
-			return fmt.Errorf("cluster: all slaves died with %d of %d top alignments found",
-				m.e.NumTopsFound(), m.e.Config().NumTops)
-		}
 	default:
 		return fmt.Errorf("cluster: master got unexpected tag %d from %d", msg.Tag, msg.From)
 	}
@@ -131,26 +200,56 @@ func (m *master) handle(msg mpi.Message) error {
 		return err
 	}
 	m.pump()
+	if len(m.live) == 0 && !m.done {
+		// Graceful degradation: no slaves left (whether we noticed via
+		// TagDown or via a failed send), so finish the remaining queue
+		// with the master's own engine rather than abandoning the run.
+		if err := m.finishLocally(); err != nil {
+			return err
+		}
+	}
 	m.checkTermination()
 	return nil
 }
 
+// admitSlave provisions a worker that joined after the initial world:
+// the setup plus a replay of every accepted top alignment, bringing its
+// triangle replica to the current version. Send failures demote the
+// newcomer to dead; they never abort the run.
+func (m *master) admitSlave(rank int) {
+	m.live[rank] = true
+	if err := m.comm.Send(rank, tagSetup, m.setup); err != nil {
+		m.handleDown(rank)
+		return
+	}
+	for _, upd := range m.topHist {
+		if err := m.comm.Send(rank, tagTop, upd); err != nil {
+			m.handleDown(rank)
+			return
+		}
+	}
+}
+
 // handleResult folds a slave's result back into the queue.
 func (m *master) handleResult(from int, res msgResult) error {
-	t := m.assigned[from][int(res.R)]
-	if t == nil {
-		// A task requeued after this slave was presumed dead, or a
-		// duplicate: ignore.
+	R := int(res.R)
+	if R < 1 || R >= m.e.Len() {
+		return fmt.Errorf("cluster: result for out-of-range split %d from slave %d", res.R, from)
+	}
+	fl := m.flights[R]
+	if fl == nil {
+		// Duplicate: a speculative re-dispatch (or a task requeued after
+		// its slave was presumed dead) already delivered this result.
 		return nil
 	}
-	delete(m.assigned[from], int(res.R))
-	m.inflight--
+	delete(m.flights, R)
+	t := fl.t
 
 	if res.First {
 		// Store the original rows (one per member in group mode).
 		mlen := m.e.Len()
 		for i, row := range res.Rows {
-			r := int(res.R) + i
+			r := R + i
 			if r > mlen-1 {
 				return fmt.Errorf("cluster: first-result row for invalid split %d", r)
 			}
@@ -169,7 +268,7 @@ func (m *master) handleResult(from int, res msgResult) error {
 	// runs report the same statistics as the local engines.
 	mlen := m.e.Len()
 	for i := range res.Scores {
-		r := int(res.R) + i
+		r := R + i
 		if r > mlen-1 {
 			break
 		}
@@ -184,17 +283,24 @@ func (m *master) handleResult(from int, res msgResult) error {
 	return nil
 }
 
-// handleDown requeues everything a dead slave was working on.
+// handleDown removes a dead slave and requeues every task it alone was
+// working on; tasks also owned by a surviving slave stay in flight.
 func (m *master) handleDown(rank int) {
 	if !m.live[rank] {
 		return
 	}
 	delete(m.live, rank)
-	for _, t := range m.assigned[rank] {
-		m.queue.Push(t) // unchanged: still a valid (stale) upper bound
-		m.inflight--
+	delete(m.owed, rank)
+	for R, fl := range m.flights {
+		if !fl.owners[rank] {
+			continue
+		}
+		delete(fl.owners, rank)
+		if len(fl.owners) == 0 {
+			m.queue.Push(fl.t) // unchanged: still a valid (stale) upper bound
+			delete(m.flights, R)
+		}
 	}
-	m.assigned[rank] = make(map[int]*topalign.Task)
 	// drop the dead slave's idle slots
 	keep := m.slots[:0]
 	for _, s := range m.slots {
@@ -219,7 +325,7 @@ func (m *master) tryAccept() error {
 		if head.AlignedWith != m.e.NumTopsFound() {
 			return nil
 		}
-		if !m.cfg.Speculative && m.inflight > 0 {
+		if !m.cfg.Speculative && len(m.flights) > 0 {
 			return nil
 		}
 		t := m.queue.Pop()
@@ -235,7 +341,9 @@ func (m *master) tryAccept() error {
 			upd.PairsI[i] = int32(p.I)
 			upd.PairsJ[i] = int32(p.J)
 		}
-		m.broadcast(tagTop, upd.encode())
+		enc := upd.encode()
+		m.topHist = append(m.topHist, enc)
+		m.broadcast(tagTop, enc)
 		if m.e.NumTopsFound() >= m.e.Config().NumTops {
 			m.done = true
 		}
@@ -262,24 +370,114 @@ func (m *master) pump() {
 			continue
 		}
 		t := m.queue.Pop()
-		job := msgJob{R: int32(t.R), First: t.AlignedWith < 0}
-		if err := m.comm.Send(slave, tagJob, job.encode()); err != nil {
-			// treat as dead; the TagDown will follow, but requeue now
+		if !m.dispatch(slave, t, nil) {
 			m.queue.Push(t)
-			m.handleDown(slave)
 			continue
 		}
 		m.slots = m.slots[1:]
-		m.assigned[slave][t.R] = t
-		m.inflight++
 	}
+}
+
+// dispatch sends task t to slave and records the ownership. When fl is
+// nil a new flight is created (first dispatch); otherwise the slave is
+// added to the existing flight (speculative re-dispatch). Returns false
+// if the send failed, in which case the slave is demoted to dead and
+// the flight state is unchanged.
+func (m *master) dispatch(slave int, t *topalign.Task, fl *flight) bool {
+	job := msgJob{R: int32(t.R), First: t.AlignedWith < 0}
+	if err := m.comm.Send(slave, tagJob, job.encode()); err != nil {
+		// treat as dead; the TagDown will follow, but clean up now
+		m.handleDown(slave)
+		return false
+	}
+	if fl == nil {
+		fl = &flight{t: t, owners: make(map[int]bool)}
+		m.flights[t.R] = fl
+	}
+	fl.owners[slave] = true
+	if m.owed[slave] == nil {
+		m.owed[slave] = make(map[int]bool)
+	}
+	m.owed[slave][t.R] = true
+	if m.cfg.TaskTimeout > 0 {
+		fl.deadline = time.Now().Add(m.cfg.TaskTimeout)
+	}
+	return true
+}
+
+// redispatchStale speculatively re-sends every overdue task to an idle
+// slot on a slave not already working on it. The original owner keeps
+// computing; handleResult deduplicates whichever copy loses the race.
+func (m *master) redispatchStale() {
+	if m.cfg.TaskTimeout <= 0 || m.done {
+		return
+	}
+	now := time.Now()
+	for _, fl := range m.flights {
+		if now.Before(fl.deadline) {
+			continue
+		}
+		slot := -1
+		for i, s := range m.slots {
+			if m.live[s] && !fl.owners[s] {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			// No eligible slot right now; check again next tick. The
+			// deadline push keeps one slow scan from re-triggering.
+			fl.deadline = now.Add(m.cfg.TaskTimeout)
+			continue
+		}
+		slave := m.slots[slot]
+		m.slots = append(m.slots[:slot], m.slots[slot+1:]...)
+		m.dispatch(slave, fl.t, fl)
+	}
+}
+
+// finishLocally drains the remaining queue with the master's own engine
+// — the sequential algorithm of topalign.Run — so a run whose every
+// slave died still completes, degraded to single-node speed. Requeued
+// tasks keep their stale scores as upper bounds, exactly as a slave
+// result would, so strict-mode results remain bit-identical.
+func (m *master) finishLocally() error {
+	cfg := m.e.Config()
+	for m.e.NumTopsFound() < cfg.NumTops && m.queue.Len() > 0 {
+		t := m.queue.Pop()
+		if t.Score != topalign.Infinity && t.Score < cfg.MinScore {
+			m.queue.Push(t)
+			break
+		}
+		if t.AlignedWith == m.e.NumTopsFound() {
+			top, err := topalign.Accept(m.e, t)
+			if err != nil {
+				return err
+			}
+			upd := msgTop{Version: int32(m.e.NumTopsFound())}
+			upd.PairsI = make([]int32, len(top.Pairs))
+			upd.PairsJ = make([]int32, len(top.Pairs))
+			for i, p := range top.Pairs {
+				upd.PairsI[i] = int32(p.I)
+				upd.PairsJ[i] = int32(p.J)
+			}
+			// Keep the history current so a worker that joins during the
+			// next (unlikely) scheduling window could still be provisioned.
+			m.topHist = append(m.topHist, upd.encode())
+		} else {
+			topalign.Realign(m.e, t, m.e.Triangle(), m.e.NumTopsFound())
+		}
+		m.queue.Push(t)
+	}
+	m.done = true
+	return nil
 }
 
 // checkTermination stops the run when no further top alignment can be
 // produced: the queue is drained or capped below MinScore with nothing
 // in flight.
 func (m *master) checkTermination() {
-	if m.done || m.inflight > 0 {
+	if m.done || len(m.flights) > 0 {
 		return
 	}
 	head := m.queue.Peek()
@@ -307,8 +505,11 @@ func (m *master) broadcast(tag mpi.Tag, data []byte) {
 }
 
 func maxI32(vs []int32) int32 {
-	best := int32(0)
-	for _, v := range vs {
+	if len(vs) == 0 {
+		return 0
+	}
+	best := vs[0]
+	for _, v := range vs[1:] {
 		if v > best {
 			best = v
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -46,7 +47,10 @@ func RunLocal(s []byte, cfg Config, spec LocalSpec) (*topalign.Result, error) {
 		return nil, err
 	}
 	for i, serr := range slaveErrs {
-		if serr != nil {
+		// A slave that merely lost the master connection is not a run
+		// failure: the master completed (we checked its error first),
+		// so the loss was a shutdown race.
+		if serr != nil && !errors.Is(serr, ErrMasterDown) {
 			return nil, fmt.Errorf("cluster: slave %d: %w", i+1, serr)
 		}
 	}

@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/align"
 	"repro/internal/mpi"
@@ -11,6 +13,16 @@ import (
 	"repro/internal/scoring"
 	"repro/internal/triangle"
 )
+
+// ErrMasterDown reports that a slave lost its master connection mid-run
+// (as opposed to a clean stop). Workers may react by reconnecting and
+// rejoining a still-running master under a fresh rank.
+var ErrMasterDown = errors.New("cluster: master connection lost")
+
+// rowRetryInterval is how long a slave waits for a requested original
+// row before asking again (the reply may have been lost; duplicate
+// replies are discarded by deliverRow).
+const rowRetryInterval = 200 * time.Millisecond
 
 // RunSlave runs a slave rank: it waits for the master's setup, then
 // serves alignment jobs with `threads` worker goroutines (>= 1) sharing
@@ -64,6 +76,7 @@ type slave struct {
 	rows    *triangle.RowStore // cache of original rows
 
 	jobs chan msgJob
+	quit chan struct{} // closed when the receive loop exits
 
 	mu         sync.Mutex
 	rowWaiters map[int]chan []int32
@@ -100,6 +113,7 @@ func newSlave(comm mpi.Comm, setup msgSetup) (*slave, error) {
 		lanes:      lanes,
 		striped:    setup.Striped,
 		rows:       triangle.NewRowStore(len(setup.Seq)),
+		quit:       make(chan struct{}),
 		rowWaiters: make(map[int]chan []int32),
 	}
 	sl.replica.Store(&replicaState{tri: triangle.New(len(setup.Seq)), version: 0})
@@ -174,6 +188,7 @@ recv:
 			// transport a sibling slave's death is also broadcast here
 			// and must be ignored.
 			if msg.From == 0 {
+				loopErr = ErrMasterDown
 				break recv
 			}
 		default:
@@ -182,6 +197,7 @@ recv:
 		}
 	}
 	close(sl.jobs)
+	close(sl.quit)
 	// unblock any worker waiting for a row
 	sl.mu.Lock()
 	for r, ch := range sl.rowWaiters {
@@ -233,9 +249,28 @@ func (sl *slave) origRow(r int) ([]int32, error) {
 	if err := sl.comm.Send(0, tagRowReq, msgRow{R: int32(r)}.encode()); err != nil {
 		return nil, err
 	}
-	row, ok := <-ch
-	if !ok {
-		return nil, mpi.ErrClosed
+	var row []int32
+	timer := time.NewTimer(rowRetryInterval)
+	defer timer.Stop()
+wait:
+	for {
+		select {
+		case got, ok := <-ch:
+			if !ok {
+				return nil, mpi.ErrClosed
+			}
+			row = got
+			break wait
+		case <-timer.C:
+			// The reply may have been dropped; ask again.
+			if err := sl.comm.Send(0, tagRowReq, msgRow{R: int32(r)}.encode()); err != nil {
+				return nil, err
+			}
+			timer.Reset(rowRetryInterval)
+		case <-sl.quit:
+			// Receive loop is gone; no reply can ever arrive.
+			return nil, mpi.ErrClosed
+		}
 	}
 	if len(row) != len(sl.s)-r {
 		return nil, fmt.Errorf("cluster: master sent row for split %d with %d entries, want %d",

@@ -1,0 +1,151 @@
+// Package faultcomm wraps an mpi.Comm with seeded, deterministic fault
+// injection — message drops, delays, duplication, and endpoint kills —
+// so cluster tests can exercise partial-failure recovery on any
+// transport without touching real sockets or clocks.
+//
+// The wrapper is transparent when Config is zero. Faults apply only to
+// application tags (below mpi.MinReservedTag); runtime messages such as
+// TagDown always pass through, since they model local failure
+// detection rather than wire traffic.
+//
+// Determinism: every probabilistic decision draws from one PCG stream
+// seeded by Config.Seed, in call order. A single-threaded endpoint
+// therefore makes identical decisions across runs; multi-threaded
+// endpoints are deterministic per interleaving, which is enough for the
+// chaos tests to be meaningfully reproducible by seed.
+package faultcomm
+
+import (
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// Rule matches messages of one application tag with probability Prob
+// (0,1]. Delay is consulted by delay rules only.
+type Rule struct {
+	Tag   mpi.Tag
+	Prob  float64
+	Delay time.Duration
+}
+
+// Config selects the faults to inject. The zero value injects nothing.
+type Config struct {
+	// Seed initialises the decision stream.
+	Seed uint64
+	// DropSend discards matching outgoing messages (reported as sent).
+	DropSend []Rule
+	// DelaySend sleeps for the rule's Delay before sending a match —
+	// the straggler fault: the message arrives late but intact.
+	DelaySend []Rule
+	// DupSend transmits matching messages twice.
+	DupSend []Rule
+	// DropRecv discards matching messages on the receive path.
+	DropRecv []Rule
+	// KillAfterSends closes the endpoint permanently once this many
+	// application messages have been sent (0 = never); the peer
+	// observes the death as TagDown. Models a rank crashing mid-run.
+	KillAfterSends int
+	// KillAfterRecvs likewise, counting delivered application messages.
+	KillAfterRecvs int
+}
+
+// Comm is a fault-injecting mpi.Comm. Wrap the endpoint you hand to
+// RunSlave/RunMaster; the peer side stays unmodified.
+type Comm struct {
+	inner mpi.Comm
+	cfg   Config
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	sends int
+	recvs int
+}
+
+// Wrap decorates inner with the configured faults.
+func Wrap(inner mpi.Comm, cfg Config) *Comm {
+	return &Comm{inner: inner, cfg: cfg, rng: rand.New(rand.NewPCG(cfg.Seed, 0xfa17c0))}
+}
+
+func (c *Comm) Rank() int { return c.inner.Rank() }
+func (c *Comm) Size() int { return c.inner.Size() }
+
+// Close closes the wrapped endpoint.
+func (c *Comm) Close() error { return c.inner.Close() }
+
+// match reports whether any rule fires for tag, returning the first
+// firing rule. Reserved tags never match.
+func (c *Comm) match(rules []Rule, tag mpi.Tag) *Rule {
+	if tag >= mpi.MinReservedTag {
+		return nil
+	}
+	for i := range rules {
+		if rules[i].Tag == tag && c.rng.Float64() < rules[i].Prob {
+			return &rules[i]
+		}
+	}
+	return nil
+}
+
+// Send applies kill/drop/delay/duplicate faults, in that order, around
+// the wrapped Send.
+func (c *Comm) Send(to int, tag mpi.Tag, data []byte) error {
+	c.mu.Lock()
+	if c.cfg.KillAfterSends > 0 && c.sends >= c.cfg.KillAfterSends {
+		c.mu.Unlock()
+		c.inner.Close()
+		return mpi.ErrClosed
+	}
+	if tag < mpi.MinReservedTag {
+		c.sends++
+	}
+	drop := c.match(c.cfg.DropSend, tag) != nil
+	var delay time.Duration
+	if r := c.match(c.cfg.DelaySend, tag); r != nil {
+		delay = r.Delay
+	}
+	dup := c.match(c.cfg.DupSend, tag) != nil
+	c.mu.Unlock()
+
+	if drop {
+		return nil // lost on the wire; the sender cannot tell
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err := c.inner.Send(to, tag, data); err != nil {
+		return err
+	}
+	if dup {
+		return c.inner.Send(to, tag, data)
+	}
+	return nil
+}
+
+// Recv applies receive-side drops and the receive kill budget.
+func (c *Comm) Recv() (mpi.Message, error) {
+	for {
+		msg, err := c.inner.Recv()
+		if err != nil {
+			return msg, err
+		}
+		c.mu.Lock()
+		kill := c.cfg.KillAfterRecvs > 0 && c.recvs >= c.cfg.KillAfterRecvs &&
+			msg.Tag < mpi.MinReservedTag
+		if !kill && msg.Tag < mpi.MinReservedTag {
+			c.recvs++
+		}
+		drop := !kill && c.match(c.cfg.DropRecv, msg.Tag) != nil
+		c.mu.Unlock()
+		if kill {
+			c.inner.Close()
+			return mpi.Message{}, mpi.ErrClosed
+		}
+		if drop {
+			continue
+		}
+		return msg, nil
+	}
+}

@@ -1,0 +1,136 @@
+package faultcomm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// Drops must be deterministic under a fixed seed: two wrappers with the
+// same config make identical decisions for the same call sequence.
+func TestDropDeterministicBySeed(t *testing.T) {
+	run := func() []bool {
+		world := mpi.NewLocal(2)
+		defer world[0].Close()
+		defer world[1].Close()
+		c := Wrap(world[1], Config{Seed: 42, DropSend: []Rule{{Tag: 3, Prob: 0.5}}})
+		var kept []bool
+		for i := 0; i < 64; i++ {
+			if err := c.Send(0, 3, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case <-mustRecvCh(world[0]):
+				kept = append(kept, true)
+			case <-time.After(20 * time.Millisecond):
+				kept = append(kept, false)
+			}
+		}
+		return kept
+	}
+	a, b := run(), run()
+	dropped := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identically-seeded runs", i)
+		}
+		if !a[i] {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == len(a) {
+		t.Fatalf("dropped %d of %d — rule had no probabilistic effect", dropped, len(a))
+	}
+}
+
+func mustRecvCh(c mpi.Comm) <-chan mpi.Message {
+	ch := make(chan mpi.Message, 1)
+	go func() {
+		if msg, err := c.Recv(); err == nil {
+			ch <- msg
+		}
+	}()
+	return ch
+}
+
+// A duplicate rule with Prob 1 must deliver every message twice.
+func TestDupSend(t *testing.T) {
+	world := mpi.NewLocal(2)
+	defer world[0].Close()
+	defer world[1].Close()
+	c := Wrap(world[1], Config{Seed: 1, DupSend: []Rule{{Tag: 5, Prob: 1}}})
+	if err := c.Send(0, 5, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		msg, err := world[0].Recv()
+		if err != nil || msg.Tag != 5 {
+			t.Fatalf("copy %d: %+v, %v", i, msg, err)
+		}
+	}
+}
+
+// The kill budget closes the endpoint and surfaces TagDown at the peer.
+func TestKillAfterSends(t *testing.T) {
+	world := mpi.NewLocal(2)
+	defer world[0].Close()
+	c := Wrap(world[1], Config{Seed: 1, KillAfterSends: 2})
+	for i := 0; i < 2; i++ {
+		if err := c.Send(0, 1, nil); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := c.Send(0, 1, nil); err != mpi.ErrClosed {
+		t.Fatalf("send past budget = %v, want ErrClosed", err)
+	}
+	got := map[mpi.Tag]int{}
+	for i := 0; i < 3; i++ {
+		msg, err := world[0].Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[msg.Tag]++
+	}
+	if got[1] != 2 || got[mpi.TagDown] != 1 {
+		t.Fatalf("peer saw %v, want 2 app messages and one TagDown", got)
+	}
+}
+
+// DropRecv discards matching deliveries but never runtime tags.
+func TestDropRecvSparesRuntimeTags(t *testing.T) {
+	world := mpi.NewLocal(2)
+	defer world[0].Close()
+	c := Wrap(world[0], Config{Seed: 9, DropRecv: []Rule{{Tag: 7, Prob: 1}}})
+	if err := world[1].Send(0, 2, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	world[1].Close() // enqueues TagDown at rank 0
+	msg, err := c.Recv()
+	if err != nil || msg.Tag != 2 {
+		t.Fatalf("first recv: %+v, %v", msg, err)
+	}
+	msg, err = c.Recv()
+	if err != nil || msg.Tag != mpi.TagDown {
+		t.Fatalf("TagDown swallowed: %+v, %v", msg, err)
+	}
+}
+
+// DelaySend must hold a matching message back by the configured amount.
+func TestDelaySend(t *testing.T) {
+	world := mpi.NewLocal(2)
+	defer world[0].Close()
+	defer world[1].Close()
+	const d = 60 * time.Millisecond
+	c := Wrap(world[1], Config{Seed: 3, DelaySend: []Rule{{Tag: 4, Prob: 1, Delay: d}}})
+	t0 := time.Now()
+	if err := c.Send(0, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(t0); elapsed < d {
+		t.Fatalf("send returned after %v, want >= %v", elapsed, d)
+	}
+	if msg, err := world[0].Recv(); err != nil || msg.Tag != 4 {
+		t.Fatalf("delayed message lost: %+v, %v", msg, err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,82 +18,158 @@ import (
 //
 // Handshake: worker connects and sends magic; master replies with
 // magic, assigned rank (int32) and world size (int32).
+//
+// Liveness: both sides emit tagHeartbeat frames every
+// HeartbeatInterval and arm a read deadline of HeartbeatTimeout on
+// frame reads, so a peer that hangs without closing its socket (the
+// kernel keeps the connection "established" indefinitely) surfaces as
+// TagDown instead of blocking Recv forever. Heartbeat frames are
+// consumed by the transport and never reach the application.
 
 var tcpMagic = [4]byte{'R', 'P', 'R', '1'}
 
+// tagHeartbeat is the wire-level liveness probe (never delivered).
+const tagHeartbeat Tag = 254
+
+// TCPOptions tunes the failure-detection behaviour of the TCP
+// transport. A zero field selects its default; a negative
+// HeartbeatInterval or WriteTimeout disables that mechanism.
+type TCPOptions struct {
+	// AcceptTimeout bounds ListenTCP's wait for the initial workers
+	// (0 = wait forever).
+	AcceptTimeout time.Duration
+	// HandshakeTimeout bounds the magic/hello exchange on each new
+	// connection so one stalled client cannot wedge admission.
+	HandshakeTimeout time.Duration
+	// HeartbeatInterval is how often each side pings the link.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a link may stay completely silent
+	// before its peer is declared dead (TagDown). It should be several
+	// multiples of HeartbeatInterval; values below 2x the interval are
+	// raised to 4x.
+	HeartbeatTimeout time.Duration
+	// WriteTimeout bounds one frame write so a peer that stopped
+	// reading cannot block senders forever.
+	WriteTimeout time.Duration
+}
+
+// DefaultTCPOptions returns the settings used by the plain ListenTCP
+// and DialTCP wrappers.
+func DefaultTCPOptions() TCPOptions {
+	return TCPOptions{
+		HandshakeTimeout:  10 * time.Second,
+		HeartbeatInterval: 2 * time.Second,
+		HeartbeatTimeout:  8 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
+}
+
+func (o TCPOptions) normalized() TCPOptions {
+	def := DefaultTCPOptions()
+	if o.HandshakeTimeout == 0 {
+		o.HandshakeTimeout = def.HandshakeTimeout
+	}
+	if o.HandshakeTimeout < 0 {
+		o.HandshakeTimeout = 0
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = def.HeartbeatInterval
+	}
+	if o.HeartbeatInterval < 0 {
+		o.HeartbeatInterval, o.HeartbeatTimeout = 0, 0
+	} else if o.HeartbeatTimeout < 2*o.HeartbeatInterval {
+		o.HeartbeatTimeout = 4 * o.HeartbeatInterval
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = def.WriteTimeout
+	}
+	if o.WriteTimeout < 0 {
+		o.WriteTimeout = 0
+	}
+	return o
+}
+
 // ListenTCP starts the master endpoint (rank 0) on addr and blocks
 // until size-1 workers have connected (or timeout elapses; 0 means no
-// timeout). The returned Comm receives from all workers; Send addresses
-// workers by their assigned rank.
+// timeout), using default fault-tolerance options. The returned Comm
+// receives from all workers; Send addresses workers by their assigned
+// rank. The listener stays open after the initial world forms so
+// replacement workers can join mid-run (they surface as TagJoin).
 func ListenTCP(addr string, size int, timeout time.Duration) (Comm, error) {
+	opts := DefaultTCPOptions()
+	opts.AcceptTimeout = timeout
+	return ListenTCPOpts(addr, size, opts)
+}
+
+// ListenTCPOpts is ListenTCP with explicit transport options.
+func ListenTCPOpts(addr string, size int, opts TCPOptions) (Comm, error) {
 	if size < 2 {
 		return nil, fmt.Errorf("mpi: tcp world size %d must be >= 2", size)
 	}
+	opts = opts.normalized()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("mpi: listen %s: %w", addr, err)
 	}
-	defer ln.Close()
-	if timeout > 0 {
-		if tl, ok := ln.(*net.TCPListener); ok {
-			tl.SetDeadline(time.Now().Add(timeout))
-		}
-	}
 	m := &tcpMaster{
-		size:  size,
-		conns: make([]*tcpConn, size),
-		inbox: make(chan Message, 1024),
-		done:  make(chan struct{}),
+		opts:        opts,
+		ln:          ln,
+		initialSize: size,
+		next:        1,
+		conns:       make(map[int]*tcpConn),
+		inbox:       make(chan Message, 1024),
+		done:        make(chan struct{}),
 	}
-	for rank := 1; rank < size; rank++ {
-		conn, err := ln.Accept()
-		if err != nil {
-			m.Close()
-			return nil, fmt.Errorf("mpi: accepting worker %d of %d: %w", rank, size-1, err)
+	if opts.AcceptTimeout > 0 {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(time.Now().Add(opts.AcceptTimeout))
 		}
-		tc, err := newTCPConn(conn)
-		if err != nil {
-			conn.Close()
+	}
+	admitted := make(chan int, size)
+	errCh := make(chan error, 1)
+	go m.acceptLoop(admitted, errCh)
+	for got := 0; got < size-1; {
+		select {
+		case <-admitted:
+			got++
+		case err := <-errCh:
 			m.Close()
-			return nil, err
+			return nil, fmt.Errorf("mpi: accepting workers (%d of %d connected): %w", got, size-1, err)
 		}
-		var magic [4]byte
-		if _, err := io.ReadFull(tc.br, magic[:]); err != nil || magic != tcpMagic {
-			conn.Close()
-			m.Close()
-			return nil, fmt.Errorf("mpi: bad handshake from %s", conn.RemoteAddr())
+	}
+	m.initialDone.Store(true)
+	if opts.AcceptTimeout > 0 {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			// Keep accepting forever: replacements may rejoin mid-run.
+			tl.SetDeadline(time.Time{})
 		}
-		var hello [12]byte
-		copy(hello[0:4], tcpMagic[:])
-		binary.LittleEndian.PutUint32(hello[4:8], uint32(rank))
-		binary.LittleEndian.PutUint32(hello[8:12], uint32(size))
-		if _, err := conn.Write(hello[:]); err != nil {
-			conn.Close()
-			m.Close()
-			return nil, fmt.Errorf("mpi: handshake reply to worker %d: %w", rank, err)
-		}
-		m.conns[rank] = tc
-		go m.reader(rank, tc)
 	}
 	return m, nil
 }
 
-// DialTCP connects a worker endpoint to the master at addr. The master
-// assigns the rank.
+// DialTCP connects a worker endpoint to the master at addr with default
+// fault-tolerance options. The master assigns the rank.
 func DialTCP(addr string, timeout time.Duration) (Comm, error) {
+	return DialTCPOpts(addr, timeout, DefaultTCPOptions())
+}
+
+// DialTCPOpts is DialTCP with explicit transport options. The options
+// must match the master's heartbeat configuration closely enough that
+// each side pings more often than the other's timeout.
+func DialTCPOpts(addr string, timeout time.Duration, opts TCPOptions) (Comm, error) {
+	opts = opts.normalized()
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("mpi: dial %s: %w", addr, err)
+	}
+	if opts.HandshakeTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(opts.HandshakeTimeout))
 	}
 	if _, err := conn.Write(tcpMagic[:]); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("mpi: handshake: %w", err)
 	}
-	tc, err := newTCPConn(conn)
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
+	tc := newTCPConn(conn, opts)
 	var hello [12]byte
 	if _, err := io.ReadFull(tc.br, hello[:]); err != nil {
 		conn.Close()
@@ -102,6 +179,7 @@ func DialTCP(addr string, timeout time.Duration) (Comm, error) {
 		conn.Close()
 		return nil, fmt.Errorf("mpi: bad handshake magic from master")
 	}
+	conn.SetDeadline(time.Time{})
 	w := &tcpWorker{
 		rank:  int(binary.LittleEndian.Uint32(hello[4:8])),
 		size:  int(binary.LittleEndian.Uint32(hello[8:12])),
@@ -110,23 +188,35 @@ func DialTCP(addr string, timeout time.Duration) (Comm, error) {
 		done:  make(chan struct{}),
 	}
 	go w.reader()
+	if opts.HeartbeatInterval > 0 {
+		go tc.pinger(w.rank, opts.HeartbeatInterval, w.done)
+	}
 	return w, nil
 }
 
-// tcpConn wraps a connection with buffered I/O and a write lock.
+// tcpConn wraps a connection with buffered I/O, a write lock, and the
+// transport's I/O deadlines.
 type tcpConn struct {
-	c  net.Conn
-	br *bufio.Reader
+	c            net.Conn
+	br           *bufio.Reader
+	readTimeout  time.Duration // max silence between reads (heartbeat timeout)
+	writeTimeout time.Duration
 
 	wmu sync.Mutex
 	bw  *bufio.Writer
 }
 
-func newTCPConn(c net.Conn) (*tcpConn, error) {
+func newTCPConn(c net.Conn, opts TCPOptions) *tcpConn {
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	return &tcpConn{c: c, br: bufio.NewReaderSize(c, 64<<10), bw: bufio.NewWriterSize(c, 64<<10)}, nil
+	return &tcpConn{
+		c:            c,
+		br:           bufio.NewReaderSize(c, 64<<10),
+		bw:           bufio.NewWriterSize(c, 64<<10),
+		readTimeout:  opts.HeartbeatTimeout,
+		writeTimeout: opts.WriteTimeout,
+	}
 }
 
 func (t *tcpConn) writeFrame(from int, tag Tag, data []byte) error {
@@ -135,22 +225,51 @@ func (t *tcpConn) writeFrame(from int, tag Tag, data []byte) error {
 	}
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
+	if t.writeTimeout > 0 {
+		t.c.SetWriteDeadline(time.Now().Add(t.writeTimeout))
+	}
 	var hdr [9]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(data)))
 	hdr[4] = byte(tag)
 	binary.LittleEndian.PutUint32(hdr[5:9], uint32(int32(from)))
-	if _, err := t.bw.Write(hdr[:]); err != nil {
-		return err
+	err := func() error {
+		if _, err := t.bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := t.bw.Write(data); err != nil {
+			return err
+		}
+		return t.bw.Flush()
+	}()
+	if err != nil {
+		// A partial frame (e.g. a write timeout to a peer that stopped
+		// reading) leaves the stream unframeable: close the connection
+		// so the reader converges on TagDown.
+		t.c.Close()
 	}
-	if _, err := t.bw.Write(data); err != nil {
-		return err
+	return err
+}
+
+// readFull reads exactly len(buf) bytes, re-arming the heartbeat read
+// deadline whenever bytes arrive so that only full silence — not a
+// slow large frame — trips the failure detector.
+func (t *tcpConn) readFull(buf []byte) error {
+	for len(buf) > 0 {
+		if t.readTimeout > 0 {
+			t.c.SetReadDeadline(time.Now().Add(t.readTimeout))
+		}
+		n, err := t.br.Read(buf)
+		buf = buf[n:]
+		if err != nil && len(buf) > 0 {
+			return err
+		}
 	}
-	return t.bw.Flush()
+	return nil
 }
 
 func (t *tcpConn) readFrame() (Message, error) {
 	var hdr [9]byte
-	if _, err := io.ReadFull(t.br, hdr[:]); err != nil {
+	if err := t.readFull(hdr[:]); err != nil {
 		return Message{}, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:4])
@@ -163,36 +282,174 @@ func (t *tcpConn) readFrame() (Message, error) {
 	}
 	if n > 0 {
 		msg.Data = make([]byte, n)
-		if _, err := io.ReadFull(t.br, msg.Data); err != nil {
+		if err := t.readFull(msg.Data); err != nil {
 			return Message{}, err
 		}
 	}
 	return msg, nil
 }
 
-// tcpMaster is rank 0 of a TCP world.
+// pinger keeps the link alive from our side so the peer's failure
+// detector only fires on genuine silence. It stops when the endpoint
+// closes or the connection dies (write error).
+func (t *tcpConn) pinger(from int, interval time.Duration, done <-chan struct{}) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+			if t.writeFrame(from, tagHeartbeat, nil) != nil {
+				return
+			}
+		}
+	}
+}
+
+// tcpMaster is rank 0 of a TCP world. The rank space grows as
+// replacement workers join; dead ranks are never reused.
 type tcpMaster struct {
-	size  int
-	conns []*tcpConn // index = rank, [0] nil
-	inbox chan Message
-	done  chan struct{}
+	opts        TCPOptions
+	ln          net.Listener
+	initialSize int
+	inbox       chan Message
+	done        chan struct{}
+	initialDone atomic.Bool
+
+	mu    sync.Mutex
+	next  int // next rank to assign
+	conns map[int]*tcpConn // rank -> conn; nil entry = rank is down
 
 	closeOnce sync.Once
 }
 
 func (m *tcpMaster) Rank() int { return 0 }
-func (m *tcpMaster) Size() int { return m.size }
+
+func (m *tcpMaster) Size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return max(m.next, m.initialSize)
+}
+
+// acceptLoop admits connections for the life of the endpoint. Each
+// handshake runs in its own goroutine so a stalled client cannot block
+// later arrivals.
+func (m *tcpMaster) acceptLoop(admitted chan<- int, errCh chan<- error) {
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			select {
+			case <-m.done:
+				return
+			default:
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() && m.initialDone.Load() {
+				// A leftover initial-phase deadline fired after the
+				// world formed; clear it and keep accepting.
+				if tl, ok := m.ln.(*net.TCPListener); ok {
+					tl.SetDeadline(time.Time{})
+					continue
+				}
+			}
+			select {
+			case errCh <- err:
+			default:
+			}
+			return
+		}
+		go m.admit(conn, admitted)
+	}
+}
+
+// admit handshakes one new connection under its own deadline and
+// registers it as the next rank.
+func (m *tcpMaster) admit(conn net.Conn, admitted chan<- int) {
+	if m.opts.HandshakeTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(m.opts.HandshakeTimeout))
+	}
+	tc := newTCPConn(conn, m.opts)
+	var magic [4]byte
+	if _, err := io.ReadFull(tc.br, magic[:]); err != nil || magic != tcpMagic {
+		conn.Close()
+		return
+	}
+	m.mu.Lock()
+	select {
+	case <-m.done:
+		m.mu.Unlock()
+		conn.Close()
+		return
+	default:
+	}
+	rank := m.next
+	m.next++
+	m.conns[rank] = tc
+	m.mu.Unlock()
+
+	var hello [12]byte
+	copy(hello[0:4], tcpMagic[:])
+	binary.LittleEndian.PutUint32(hello[4:8], uint32(rank))
+	binary.LittleEndian.PutUint32(hello[8:12], uint32(max(rank+1, m.initialSize)))
+	ok := true
+	if _, err := conn.Write(hello[:]); err != nil {
+		ok = false
+	}
+	if ok {
+		conn.SetDeadline(time.Time{})
+		go m.reader(rank, tc)
+		if m.opts.HeartbeatInterval > 0 {
+			go tc.pinger(0, m.opts.HeartbeatInterval, m.done)
+		}
+	} else {
+		m.mu.Lock()
+		m.conns[rank] = nil // rank burned; handshake never completed
+		m.mu.Unlock()
+		conn.Close()
+	}
+
+	if rank < m.initialSize {
+		// Initial world member: count towards the ListenTCP barrier. A
+		// failed hello still counts so the barrier cannot hang; the
+		// dead rank surfaces as TagDown and Send errors instead.
+		select {
+		case admitted <- rank:
+		default:
+		}
+		if !ok {
+			m.deliver(Message{From: rank, Tag: TagDown})
+		}
+		return
+	}
+	if ok {
+		m.deliver(Message{From: rank, Tag: TagJoin})
+	}
+}
+
+func (m *tcpMaster) deliver(msg Message) {
+	select {
+	case m.inbox <- msg:
+	case <-m.done:
+	}
+}
 
 func (m *tcpMaster) Send(to int, tag Tag, data []byte) error {
-	if to <= 0 || to >= m.size {
-		return errBadRank(to, m.size)
-	}
 	select {
 	case <-m.done:
 		return ErrClosed
 	default:
 	}
-	return m.conns[to].writeFrame(0, tag, data)
+	m.mu.Lock()
+	size := max(m.next, m.initialSize)
+	tc := m.conns[to]
+	m.mu.Unlock()
+	if to <= 0 || to >= size {
+		return errBadRank(to, size)
+	}
+	if tc == nil {
+		return fmt.Errorf("mpi: rank %d is down", to)
+	}
+	return tc.writeFrame(0, tag, data)
 }
 
 func (m *tcpMaster) Recv() (Message, error) {
@@ -210,16 +467,21 @@ func (m *tcpMaster) Recv() (Message, error) {
 }
 
 // reader pumps one worker connection into the shared inbox and reports
-// the worker's death exactly once.
+// the worker's death exactly once. A read error — including a missed
+// heartbeat deadline — closes the connection so the pinger stops too.
 func (m *tcpMaster) reader(rank int, tc *tcpConn) {
 	for {
 		msg, err := tc.readFrame()
 		if err != nil {
-			select {
-			case m.inbox <- Message{From: rank, Tag: TagDown}:
-			case <-m.done:
-			}
+			tc.c.Close()
+			m.mu.Lock()
+			m.conns[rank] = nil
+			m.mu.Unlock()
+			m.deliver(Message{From: rank, Tag: TagDown})
 			return
+		}
+		if msg.Tag == tagHeartbeat {
+			continue
 		}
 		msg.From = rank // trust the connection, not the frame header
 		select {
@@ -233,11 +495,14 @@ func (m *tcpMaster) reader(rank int, tc *tcpConn) {
 func (m *tcpMaster) Close() error {
 	m.closeOnce.Do(func() {
 		close(m.done)
+		m.ln.Close()
+		m.mu.Lock()
 		for _, c := range m.conns {
 			if c != nil {
 				c.c.Close()
 			}
 		}
+		m.mu.Unlock()
 	})
 	return nil
 }
@@ -286,11 +551,15 @@ func (w *tcpWorker) reader() {
 	for {
 		msg, err := w.conn.readFrame()
 		if err != nil {
+			w.conn.c.Close()
 			select {
 			case w.inbox <- Message{From: 0, Tag: TagDown}:
 			case <-w.done:
 			}
 			return
+		}
+		if msg.Tag == tagHeartbeat {
+			continue
 		}
 		msg.From = 0
 		select {

@@ -1,0 +1,258 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// fastHB returns transport options with millisecond-scale failure
+// detection so the fault tests finish quickly.
+func fastHB() TCPOptions {
+	return TCPOptions{
+		AcceptTimeout:     5 * time.Second,
+		HandshakeTimeout:  2 * time.Second,
+		HeartbeatInterval: 25 * time.Millisecond,
+		HeartbeatTimeout:  150 * time.Millisecond,
+		WriteTimeout:      2 * time.Second,
+	}
+}
+
+// recvWithin fails the test unless c delivers a message within d.
+func recvWithin(t *testing.T, c Comm, d time.Duration) Message {
+	t.Helper()
+	type out struct {
+		msg Message
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		m, err := c.Recv()
+		ch <- out{m, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatalf("recv: %v", o.err)
+		}
+		return o.msg
+	case <-time.After(d):
+		t.Fatalf("no message within %v", d)
+	}
+	return Message{}
+}
+
+// startMasterAsync begins forming a TCP world in the background.
+func startMasterAsync(t *testing.T, addr string, size int, opts TCPOptions) (<-chan Comm, <-chan error) {
+	t.Helper()
+	masterCh := make(chan Comm, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		m, err := ListenTCPOpts(addr, size, opts)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		masterCh <- m
+	}()
+	time.Sleep(50 * time.Millisecond)
+	return masterCh, errCh
+}
+
+func awaitMaster(t *testing.T, masterCh <-chan Comm, errCh <-chan error) Comm {
+	t.Helper()
+	select {
+	case m := <-masterCh:
+		return m
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("master did not come up")
+	}
+	return nil
+}
+
+// rawHandshake performs the worker side of the handshake by hand and
+// returns the open connection plus the assigned rank, without starting
+// any of the transport's goroutines — the resulting peer is completely
+// inert, like a process that wedged right after connecting.
+func rawHandshake(t *testing.T, addr string) (net.Conn, int) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(tcpMagic[:]); err != nil {
+		t.Fatal(err)
+	}
+	var hello [12]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	if [4]byte(hello[0:4]) != tcpMagic {
+		t.Fatal("bad hello magic")
+	}
+	return conn, int(binary.LittleEndian.Uint32(hello[4:8]))
+}
+
+// A worker that completes the handshake and then goes completely silent
+// — without ever closing its socket — must be declared dead by the
+// heartbeat timeout and surface as TagDown on the master.
+func TestTCPHeartbeatDetectsHungWorker(t *testing.T) {
+	addr := mustFreeAddr(t)
+	masterCh, errCh := startMasterAsync(t, addr, 2, fastHB())
+
+	conn, rank := rawHandshake(t, addr)
+	defer conn.Close()
+	if rank != 1 {
+		t.Fatalf("hung client got rank %d, want 1", rank)
+	}
+	m := awaitMaster(t, masterCh, errCh)
+	defer m.Close()
+
+	msg := recvWithin(t, m, 3*time.Second)
+	if msg.Tag != TagDown || msg.From != 1 {
+		t.Fatalf("expected TagDown from rank 1, got %+v", msg)
+	}
+	if err := m.Send(1, 5, nil); err == nil {
+		t.Error("send to a hung (declared-dead) rank succeeded")
+	}
+}
+
+// The symmetric case: a master that stops emitting anything after the
+// handshake must surface as TagDown on the worker.
+func TestTCPHeartbeatDetectsHungMaster(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	connCh := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			connCh <- nil
+			return
+		}
+		var magic [4]byte
+		io.ReadFull(conn, magic[:])
+		var hello [12]byte
+		copy(hello[0:4], tcpMagic[:])
+		binary.LittleEndian.PutUint32(hello[4:8], 1)
+		binary.LittleEndian.PutUint32(hello[8:12], 2)
+		conn.Write(hello[:])
+		connCh <- conn // keep the socket open but never use it again
+	}()
+
+	w, err := DialTCPOpts(ln.Addr().String(), 2*time.Second, fastHB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Rank() != 1 || w.Size() != 2 {
+		t.Fatalf("rank %d size %d, want 1/2", w.Rank(), w.Size())
+	}
+	msg := recvWithin(t, w, 3*time.Second)
+	if msg.Tag != TagDown || msg.From != 0 {
+		t.Fatalf("expected TagDown from master, got %+v", msg)
+	}
+	if c := <-connCh; c != nil {
+		c.Close()
+	}
+}
+
+// A client that connects but never sends its magic must not consume a
+// rank or block the world from forming: its handshake runs under its
+// own deadline while a real worker is admitted.
+func TestTCPHandshakeStallDoesNotBlockAdmission(t *testing.T) {
+	addr := mustFreeAddr(t)
+	opts := fastHB()
+	opts.HandshakeTimeout = 200 * time.Millisecond
+	masterCh, errCh := startMasterAsync(t, addr, 2, opts)
+
+	stall, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stall.Close()
+	time.Sleep(50 * time.Millisecond) // ensure the stalled conn is accepted first
+
+	w, err := DialTCPOpts(addr, 2*time.Second, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	m := awaitMaster(t, masterCh, errCh)
+	defer m.Close()
+
+	if w.Rank() != 1 {
+		t.Errorf("real worker got rank %d, want 1 (a stalled handshake must not consume a rank)", w.Rank())
+	}
+	if err := w.Send(0, 7, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	msg := recvWithin(t, m, 2*time.Second)
+	if msg.From != 1 || msg.Tag != 7 || string(msg.Data) != "hi" {
+		t.Errorf("got %+v", msg)
+	}
+}
+
+// After a worker dies, a replacement can dial the still-listening
+// master: it is assigned a fresh rank (dead ranks are never reused) and
+// announced to the application as TagJoin.
+func TestTCPWorkerRejoinDeliversJoin(t *testing.T) {
+	addr := mustFreeAddr(t)
+	opts := DefaultTCPOptions()
+	opts.AcceptTimeout = 5 * time.Second
+	masterCh, errCh := startMasterAsync(t, addr, 2, opts)
+
+	w1, err := DialTCP(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := awaitMaster(t, masterCh, errCh)
+	defer m.Close()
+
+	w1.Close()
+	msg := recvWithin(t, m, 3*time.Second)
+	if msg.Tag != TagDown || msg.From != 1 {
+		t.Fatalf("expected TagDown from rank 1, got %+v", msg)
+	}
+
+	w2, err := DialTCP(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	msg = recvWithin(t, m, 3*time.Second)
+	if msg.Tag != TagJoin || msg.From != 2 {
+		t.Fatalf("expected TagJoin from rank 2, got %+v", msg)
+	}
+	if w2.Rank() != 2 {
+		t.Errorf("replacement got rank %d, want 2", w2.Rank())
+	}
+	if m.Size() != 3 {
+		t.Errorf("master size %d after rejoin, want 3", m.Size())
+	}
+
+	// The new link works both ways; the dead rank stays dead.
+	if err := w2.Send(0, 9, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	msg = recvWithin(t, m, 2*time.Second)
+	if msg.From != 2 || string(msg.Data) != "back" {
+		t.Errorf("got %+v", msg)
+	}
+	if err := m.Send(2, 4, []byte("job")); err != nil {
+		t.Fatal(err)
+	}
+	msg = recvWithin(t, w2, 2*time.Second)
+	if msg.Tag != 4 || string(msg.Data) != "job" {
+		t.Errorf("got %+v", msg)
+	}
+	if err := m.Send(1, 1, nil); err == nil {
+		t.Error("send to dead rank 1 succeeded")
+	}
+}
