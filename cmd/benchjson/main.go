@@ -1,0 +1,160 @@
+// Command benchjson runs the seeded titin workload at each of the
+// paper's parallelism levels and emits a machine-readable benchmark
+// file (default BENCH_PR2.json) seeding the repo's performance
+// trajectory: wall time, matrix cells computed, cells per second (the
+// SSW library's canonical alignment-throughput metric), alignment
+// counts, and the speculation overhead of the parallel scheduler
+// (paper Section 5.2 measures up to 8.4%).
+//
+//	benchjson -len 1200 -tops 15 -out BENCH_PR2.json
+//	benchjson -short -out /tmp/smoke.json   (CI smoke run)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/cluster"
+	"repro/internal/parallel"
+	"repro/internal/scoring"
+	"repro/internal/seq"
+	"repro/internal/stats"
+	"repro/internal/topalign"
+)
+
+// Level is one benchmark row.
+type Level struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	Lanes       int     `json:"lanes,omitempty"`
+	Slaves      int     `json:"slaves,omitempty"`
+	Tops        int     `json:"tops"`
+	WallSeconds float64 `json:"wall_s"`
+	Cells       int64   `json:"cells"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	Alignments  int64   `json:"alignments"`
+	Tracebacks  int64   `json:"tracebacks"`
+	MeanAlignNS int64   `json:"mean_align_ns"`
+	Speedup     float64 `json:"speedup_vs_sequential"`
+}
+
+// Output is the whole benchmark document.
+type Output struct {
+	Bench               string  `json:"bench"`
+	SeqLen              int     `json:"seq_len"`
+	Seed                uint64  `json:"seed"`
+	Tops                int     `json:"tops"`
+	GOMAXPROCS          int     `json:"gomaxprocs"`
+	GoVersion           string  `json:"go_version"`
+	Levels              []Level `json:"levels"`
+	SpeculationOverhead float64 `json:"speculation_overhead"`
+}
+
+func main() {
+	var (
+		length = flag.Int("len", 1200, "synthetic titin length (residues)")
+		tops   = flag.Int("tops", 15, "top alignments per run")
+		seed   = flag.Uint64("seed", 1, "titin generator seed")
+		outP   = flag.String("out", "BENCH_PR2.json", "output JSON path (- for stdout)")
+		short  = flag.Bool("short", false, "small workload for CI smoke runs")
+	)
+	flag.Parse()
+	if *short {
+		*length, *tops = 300, 6
+	}
+
+	q := seq.SyntheticTitin(*length, *seed)
+	params := align.Params{Exch: scoring.BLOSUM62, Gap: scoring.DefaultProteinGap}
+	base := topalign.Config{Params: params, NumTops: *tops}
+	// Floor at 4 so the speculative scheduler is exercised (and its
+	// overhead measurable) even on single-CPU CI runners.
+	workers := max(runtime.GOMAXPROCS(0), 4)
+
+	type runner struct {
+		level Level
+		run   func(topalign.Config) (*topalign.Result, error)
+	}
+	runners := []runner{
+		{Level{Name: "sequential", Workers: 1}, func(cfg topalign.Config) (*topalign.Result, error) {
+			return topalign.Find(q.Codes, cfg)
+		}},
+		{Level{Name: "swar-group", Workers: 1, Lanes: 8}, func(cfg topalign.Config) (*topalign.Result, error) {
+			cfg.GroupLanes = 8
+			return topalign.Find(q.Codes, cfg)
+		}},
+		{Level{Name: "shared-memory", Workers: workers}, func(cfg topalign.Config) (*topalign.Result, error) {
+			return parallel.Find(q.Codes, cfg, parallel.Config{Workers: workers, Speculative: true})
+		}},
+		{Level{Name: "cluster", Workers: 4, Slaves: 2}, func(cfg topalign.Config) (*topalign.Result, error) {
+			return cluster.RunLocal(q.Codes,
+				cluster.Config{Top: cfg, Speculative: true},
+				cluster.LocalSpec{Slaves: 2, ThreadsPerSlave: 2})
+		}},
+	}
+
+	out := Output{
+		Bench:      "titin-toplevel",
+		SeqLen:     q.Len(),
+		Seed:       *seed,
+		Tops:       *tops,
+		GOMAXPROCS: workers,
+		GoVersion:  runtime.Version(),
+	}
+	var seqWall float64
+	var seqAlignments int64
+	for _, r := range runners {
+		cfg := base
+		cfg.Counters = &stats.Counters{}
+		t0 := time.Now()
+		res, err := r.run(cfg)
+		wall := time.Since(t0).Seconds()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", r.level.Name, err))
+		}
+		snap := cfg.Counters.Snapshot()
+		lv := r.level
+		lv.Tops = len(res.Tops)
+		lv.WallSeconds = wall
+		lv.Cells = snap.Cells
+		lv.CellsPerSec = float64(snap.Cells) / wall
+		lv.Alignments = snap.Alignments
+		lv.Tracebacks = snap.Tracebacks
+		lv.MeanAlignNS = int64(snap.AlignLatency.Mean())
+		if lv.Name == "sequential" {
+			seqWall, seqAlignments = wall, snap.Alignments
+		}
+		if seqWall > 0 {
+			lv.Speedup = seqWall / wall
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-13s %6.2fs  %8.0f kcells/s  %d alignments\n",
+			lv.Name, wall, lv.CellsPerSec/1e3, lv.Alignments)
+		out.Levels = append(out.Levels, lv)
+		if lv.Name == "shared-memory" && seqAlignments > 0 {
+			out.SpeculationOverhead = float64(lv.Alignments-seqAlignments) / float64(seqAlignments)
+		}
+	}
+
+	doc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	doc = append(doc, '\n')
+	if *outP == "-" {
+		os.Stdout.Write(doc)
+		return
+	}
+	if err := os.WriteFile(*outP, doc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *outP)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -10,33 +10,36 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/seq"
 )
 
 func main() {
 	var (
-		inPath   = flag.String("in", "", "FASTA input file (default: stdin unless -seq/-titin)")
-		rawSeq   = flag.String("seq", "", "literal sequence instead of FASTA input")
-		titinLen = flag.Int("titin", 0, "analyse a synthetic titin-like protein of this length")
-		matrix   = flag.String("matrix", "BLOSUM62", "exchange matrix: BLOSUM62, PAM250, dna-unit, paper-dna")
-		tops     = flag.Int("tops", repro.DefaultNumTops, "number of top alignments")
-		gapOpen  = flag.Int("gap-open", 0, "gap opening penalty (0 = matrix default)")
-		gapExt   = flag.Int("gap-ext", 0, "gap extension penalty (0 = matrix default)")
-		minScore = flag.Int("min-score", 0, "stop when no alignment reaches this score")
-		lanes    = flag.Int("lanes", 0, "SIMD-style group lanes: 0, 4, or 8")
-		striped  = flag.Bool("striped", false, "use the cache-aware striped kernel")
-		workers  = flag.Int("workers", 0, "shared-memory worker goroutines (0/1 = sequential)")
-		slaves   = flag.Int("slaves", 0, "run an in-process cluster with this many slaves")
-		threads  = flag.Int("threads", 1, "worker threads per cluster slave")
-		spec     = flag.Bool("speculative", false, "speculative parallel acceptance (paper mode)")
-		minPairs = flag.Int("min-pairs", 0, "minimum matched pairs per alignment for delineation")
-		stats    = flag.Bool("stats", false, "print engine statistics")
-		showAln  = flag.Int("align", 0, "render the first N top alignments residue by residue")
+		inPath     = flag.String("in", "", "FASTA input file (default: stdin unless -seq/-titin)")
+		rawSeq     = flag.String("seq", "", "literal sequence instead of FASTA input")
+		titinLen   = flag.Int("titin", 0, "analyse a synthetic titin-like protein of this length")
+		matrix     = flag.String("matrix", "BLOSUM62", "exchange matrix: BLOSUM62, PAM250, dna-unit, paper-dna")
+		tops       = flag.Int("tops", repro.DefaultNumTops, "number of top alignments")
+		gapOpen    = flag.Int("gap-open", 0, "gap opening penalty (0 = matrix default)")
+		gapExt     = flag.Int("gap-ext", 0, "gap extension penalty (0 = matrix default)")
+		minScore   = flag.Int("min-score", 0, "stop when no alignment reaches this score")
+		lanes      = flag.Int("lanes", 0, "SIMD-style group lanes: 0, 4, or 8")
+		striped    = flag.Bool("striped", false, "use the cache-aware striped kernel")
+		workers    = flag.Int("workers", 0, "shared-memory worker goroutines (0/1 = sequential)")
+		slaves     = flag.Int("slaves", 0, "run an in-process cluster with this many slaves")
+		threads    = flag.Int("threads", 1, "worker threads per cluster slave")
+		spec       = flag.Bool("speculative", false, "speculative parallel acceptance (paper mode)")
+		minPairs   = flag.Int("min-pairs", 0, "minimum matched pairs per alignment for delineation")
+		stats      = flag.Bool("stats", false, "print engine statistics")
+		showAln    = flag.Int("align", 0, "render the first N top alignments residue by residue")
+		metricsOut = flag.String("metrics-out", "", "write the observability snapshot (metrics + trace tail) as JSON to this file (- for stdout)")
 	)
 	flag.Parse()
 
@@ -46,6 +49,10 @@ func main() {
 		Lanes: *lanes, Striped: *striped,
 		Workers: *workers, Slaves: *slaves, ThreadsPerSlave: *threads,
 		Speculative: *spec, MinPairs: *minPairs,
+	}
+	if *metricsOut != "" {
+		opt.Metrics = obs.NewRegistry()
+		opt.Trace = obs.NewJournal(0)
 	}
 
 	var reports []*repro.Report
@@ -95,6 +102,32 @@ func main() {
 			}
 		}
 	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, opt.Metrics, opt.Trace); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeMetrics dumps the registry snapshot and the journal tail as one
+// JSON document, to stdout when path is "-".
+func writeMetrics(path string, reg *obs.Registry, jnl *obs.Journal) error {
+	doc := struct {
+		Metrics obs.Snapshot `json:"metrics"`
+		Dropped uint64       `json:"trace_dropped"`
+		Trace   []obs.Event  `json:"trace"`
+	}{reg.Snapshot(), jnl.Dropped(), jnl.Tail(1024)}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }
 
 func fatal(err error) {

@@ -17,9 +17,11 @@ import (
 	"repro/internal/align"
 	"repro/internal/cluster"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/repeats"
 	"repro/internal/scoring"
 	"repro/internal/seq"
+	"repro/internal/stats"
 	"repro/internal/topalign"
 )
 
@@ -38,8 +40,24 @@ func main() {
 		hbInterval  = flag.Duration("hb-interval", 2*time.Second, "heartbeat interval (negative disables)")
 		hbTimeout   = flag.Duration("hb-timeout", 8*time.Second, "declare a worker dead after this much silence")
 		taskTimeout = flag.Duration("task-timeout", 30*time.Second, "re-dispatch a task unanswered for this long (0 disables)")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /trace and pprof on this address (e.g. :9621; binds localhost unless a host is given; empty disables)")
 	)
 	flag.Parse()
+
+	var (
+		reg *obs.Registry
+		jnl *obs.Journal
+	)
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		jnl = obs.NewJournal(0)
+		dbg, err := obs.StartDebug(*debugAddr, reg, jnl)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "repromaster: debug endpoints on http://%s/{metrics,trace,debug/pprof}\n", dbg.Addr)
+	}
 
 	exch, ok := scoring.ByName(*matrix)
 	if !ok {
@@ -70,6 +88,7 @@ func main() {
 	opts.AcceptTimeout = *timeout
 	opts.HeartbeatInterval = *hbInterval
 	opts.HeartbeatTimeout = *hbTimeout
+	opts.Metrics = reg
 	comm, err := mpi.ListenTCPOpts(*addr, *slaves+1, opts)
 	if err != nil {
 		fatal(err)
@@ -83,9 +102,12 @@ func main() {
 			Params:     align.Params{Exch: exch, Gap: scoring.DefaultProteinGap},
 			NumTops:    *tops,
 			GroupLanes: *lanes,
+			Counters:   &stats.Counters{},
+			Trace:      jnl,
 		},
 		Speculative: *spec,
 		TaskTimeout: *taskTimeout,
+		Metrics:     reg,
 	}
 	t0 := time.Now()
 	res, err := cluster.RunMaster(comm, q.Codes, cfg)
@@ -94,6 +116,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "repromaster: %d top alignments in %.2fs\n",
 		len(res.Tops), time.Since(t0).Seconds())
+	fmt.Fprintf(os.Stderr, "repromaster: %s\n", res.Stats)
 
 	for _, top := range res.Tops {
 		first, last := top.Pairs[0], top.Pairs[len(top.Pairs)-1]

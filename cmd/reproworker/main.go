@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -32,12 +33,25 @@ func main() {
 		rejoin     = flag.Bool("rejoin", true, "reconnect and rejoin after losing the master mid-run")
 		hbInterval = flag.Duration("hb-interval", 2*time.Second, "heartbeat interval (negative disables)")
 		hbTimeout  = flag.Duration("hb-timeout", 8*time.Second, "declare the master dead after this much silence")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /trace and pprof on this address (binds localhost unless a host is given; empty disables)")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		dbg, err := obs.StartDebug(*debugAddr, reg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "reproworker: debug endpoints on http://%s/{metrics,debug/pprof}\n", dbg.Addr)
+	}
 
 	opts := mpi.DefaultTCPOptions()
 	opts.HeartbeatInterval = *hbInterval
 	opts.HeartbeatTimeout = *hbTimeout
+	opts.Metrics = reg
 
 	for {
 		comm, err := dialRetry(*addr, *timeout, opts)
@@ -46,7 +60,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "reproworker: connected as rank %d of %d, %d threads\n",
 			comm.Rank(), comm.Size(), *threads)
-		err = cluster.RunSlave(comm, *threads)
+		err = cluster.RunSlaveOpts(comm, cluster.SlaveOptions{Threads: *threads, Metrics: reg})
 		comm.Close()
 		switch {
 		case err == nil:

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/topalign"
 )
 
@@ -24,6 +25,15 @@ type Config struct {
 	// first wins; the laggard's result is deduplicated, so strict-mode
 	// determinism is unaffected. 0 disables re-dispatch.
 	TaskTimeout time.Duration
+	// Metrics, when non-nil, receives cluster telemetry (per-rank
+	// dispatch/retry/duplicate counters, live-slave gauge, rows served)
+	// and the engine counters of Top.Counters, bound under the names in
+	// DESIGN.md section 8.
+	Metrics *obs.Registry
+	// Journal, when non-nil, receives cluster scheduling events
+	// (dispatch, redispatch, duplicate, rank-down, rank-join). Defaults
+	// to Top.Trace, so one journal can carry the whole run.
+	Journal *obs.Journal
 }
 
 // RunMaster drives a cluster computation from rank 0: it ships the
@@ -47,6 +57,10 @@ func RunMaster(comm mpi.Comm, s []byte, cfg Config) (*topalign.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Journal == nil {
+		cfg.Journal = cfg.Top.Trace
+	}
+	cfg.Top.Counters.Bind(cfg.Metrics)
 	m := &master{
 		comm:    comm,
 		e:       e,
@@ -71,13 +85,43 @@ type master struct {
 	e       *topalign.Engine
 	cfg     Config
 	queue   *topalign.TaskQueue
-	flights map[int]*flight // task R -> outstanding dispatch
-	slots   []int           // idle worker slots (slave ranks, FIFO)
+	flights map[int]*flight      // task R -> outstanding dispatch
+	slots   []int                // idle worker slots (slave ranks, FIFO)
 	owed    map[int]map[int]bool // slave rank -> task Rs dispatched to it, not yet credited back
 	live    map[int]bool
 	done    bool
 	setup   []byte   // encoded msgSetup, re-shipped to late joiners
 	topHist [][]byte // encoded msgTop per accepted top, for rejoin replay
+}
+
+// Registry names used by the master (DESIGN.md section 8). Per-rank
+// counters append "/rank<N>".
+const (
+	metricDispatchTotal   = "cluster/dispatch/total"
+	metricDispatchRank    = "cluster/dispatch/rank%d"
+	metricRedispatchTotal = "cluster/redispatch/total"
+	metricRedispatchRank  = "cluster/redispatch/rank%d"
+	metricDuplicateTotal  = "cluster/duplicate/total"
+	metricDuplicateRank   = "cluster/duplicate/rank%d"
+	metricRowsServed      = "cluster/rows_served"
+	metricDeaths          = "cluster/deaths"
+	metricRejoins         = "cluster/rejoins"
+	metricLiveSlaves      = "cluster/live_slaves"
+)
+
+// jot records a scheduling event in the run journal (nil-safe).
+func (m *master) jot(kind obs.EventKind, rank int, r int32, arg int64) {
+	m.cfg.Journal.Record(kind, int32(rank), r, arg)
+}
+
+// bump increments a named counter in the registry (nil-safe).
+func (m *master) bump(name string) {
+	m.cfg.Metrics.Counter(name).Inc()
+}
+
+// markLive refreshes the live-slave gauge.
+func (m *master) markLive() {
+	m.cfg.Metrics.Gauge(metricLiveSlaves).Set(int64(len(m.live)))
 }
 
 func (m *master) run(s []byte) (*topalign.Result, error) {
@@ -98,6 +142,7 @@ func (m *master) run(s []byte) (*topalign.Result, error) {
 		}
 		m.live[rank] = true
 	}
+	m.markLive()
 
 	// Pump Recv into a channel so the scheduler can also react to the
 	// straggler ticker. The quit channel stops the pump when the run
@@ -184,6 +229,7 @@ func (m *master) handle(msg mpi.Message) error {
 		if !ok {
 			return fmt.Errorf("cluster: slave %d requested unknown row %d", msg.From, req.R)
 		}
+		m.bump(metricRowsServed)
 		return m.comm.Send(msg.From, tagRow, msgRow{R: req.R, Row: row}.encode())
 	case tagRefused:
 		return fmt.Errorf("cluster: slave %d refused setup: %s", msg.From, msg.Data)
@@ -218,6 +264,9 @@ func (m *master) handle(msg mpi.Message) error {
 // newcomer to dead; they never abort the run.
 func (m *master) admitSlave(rank int) {
 	m.live[rank] = true
+	m.bump(metricRejoins)
+	m.jot(obs.EvRankJoin, rank, -1, 0)
+	m.markLive()
 	if err := m.comm.Send(rank, tagSetup, m.setup); err != nil {
 		m.handleDown(rank)
 		return
@@ -240,10 +289,19 @@ func (m *master) handleResult(from int, res msgResult) error {
 	if fl == nil {
 		// Duplicate: a speculative re-dispatch (or a task requeued after
 		// its slave was presumed dead) already delivered this result.
+		m.bump(metricDuplicateTotal)
+		m.bump(fmt.Sprintf(metricDuplicateRank, from))
+		m.jot(obs.EvDuplicate, from, res.R, int64(res.Version))
 		return nil
 	}
 	delete(m.flights, R)
 	t := fl.t
+	if !res.First && int(res.Version) < m.e.NumTopsFound() {
+		// Computed against a replica that has since advanced: the
+		// paper's speculation overhead — the score re-enters the queue
+		// as a stale upper bound rather than being discarded.
+		m.jot(obs.EvSpecWaste, from, res.R, int64(res.Version))
+	}
 
 	if res.First {
 		// Store the original rows (one per member in group mode).
@@ -291,6 +349,7 @@ func (m *master) handleDown(rank int) {
 	}
 	delete(m.live, rank)
 	delete(m.owed, rank)
+	requeued := int64(0)
 	for R, fl := range m.flights {
 		if !fl.owners[rank] {
 			continue
@@ -299,8 +358,12 @@ func (m *master) handleDown(rank int) {
 		if len(fl.owners) == 0 {
 			m.queue.Push(fl.t) // unchanged: still a valid (stale) upper bound
 			delete(m.flights, R)
+			requeued++
 		}
 	}
+	m.bump(metricDeaths)
+	m.jot(obs.EvRankDown, rank, -1, requeued)
+	m.markLive()
 	// drop the dead slave's idle slots
 	keep := m.slots[:0]
 	for _, s := range m.slots {
@@ -390,9 +453,20 @@ func (m *master) dispatch(slave int, t *topalign.Task, fl *flight) bool {
 		m.handleDown(slave)
 		return false
 	}
+	// Per-rank counter first, total second: a concurrent /metrics scrape
+	// then always sees sum(ranks) >= total, never a phantom deficit.
+	m.bump(fmt.Sprintf(metricDispatchRank, slave))
+	m.bump(metricDispatchTotal)
 	if fl == nil {
+		m.jot(obs.EvDispatch, slave, int32(t.R), 0)
 		fl = &flight{t: t, owners: make(map[int]bool)}
 		m.flights[t.R] = fl
+	} else {
+		// Speculative re-dispatch of a straggler's task: tally the retry
+		// globally and against the rank that received the extra copy.
+		m.bump(metricRedispatchTotal)
+		m.bump(fmt.Sprintf(metricRedispatchRank, slave))
+		m.jot(obs.EvRedispatch, slave, int32(t.R), int64(len(fl.owners)))
 	}
 	fl.owners[slave] = true
 	if m.owed[slave] == nil {

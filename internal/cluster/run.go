@@ -20,6 +20,8 @@ type LocalSpec struct {
 // RunLocal executes a full cluster computation inside one process using
 // the channel transport: one master rank plus spec.Slaves slave ranks.
 // It exercises exactly the same protocol code as the TCP binaries.
+// When cfg.Metrics is set, master and slaves share the registry, so one
+// snapshot holds the whole cluster's telemetry.
 func RunLocal(s []byte, cfg Config, spec LocalSpec) (*topalign.Result, error) {
 	if spec.Slaves < 1 {
 		return nil, fmt.Errorf("cluster: need at least one slave, got %d", spec.Slaves)
@@ -36,7 +38,8 @@ func RunLocal(s []byte, cfg Config, spec LocalSpec) (*topalign.Result, error) {
 		go func(idx int) {
 			defer wg.Done()
 			defer world[idx+1].Close()
-			slaveErrs[idx] = RunSlave(world[idx+1], spec.ThreadsPerSlave)
+			slaveErrs[idx] = RunSlaveOpts(world[idx+1],
+				SlaveOptions{Threads: spec.ThreadsPerSlave, Metrics: cfg.Metrics})
 		}(i)
 	}
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/align"
 	"repro/internal/mpi"
 	"repro/internal/multialign"
+	"repro/internal/obs"
 	"repro/internal/scoring"
 	"repro/internal/triangle"
 )
@@ -24,12 +25,27 @@ var ErrMasterDown = errors.New("cluster: master connection lost")
 // replies are discarded by deliverRow).
 const rowRetryInterval = 200 * time.Millisecond
 
+// SlaveOptions configures a slave rank beyond its thread count.
+type SlaveOptions struct {
+	// Threads is the number of worker goroutines (minimum 1).
+	Threads int
+	// Metrics, when non-nil, receives slave telemetry: jobs served,
+	// row-request counts and fetch latencies (cluster/row_fetch_ns).
+	Metrics *obs.Registry
+}
+
 // RunSlave runs a slave rank: it waits for the master's setup, then
 // serves alignment jobs with `threads` worker goroutines (>= 1) sharing
 // one triangle replica and one original-row cache — one slave process
 // per SMP node, several threads per process, as in the paper.
 // It returns when the master sends stop or the connection drops.
 func RunSlave(comm mpi.Comm, threads int) error {
+	return RunSlaveOpts(comm, SlaveOptions{Threads: threads})
+}
+
+// RunSlaveOpts is RunSlave with explicit options.
+func RunSlaveOpts(comm mpi.Comm, opts SlaveOptions) error {
+	threads := opts.Threads
 	if comm.Rank() == 0 {
 		return fmt.Errorf("cluster: RunSlave called on rank 0")
 	}
@@ -56,6 +72,7 @@ func RunSlave(comm mpi.Comm, threads int) error {
 		comm.Send(0, tagRefused, []byte(err.Error()))
 		return err
 	}
+	sl.reg = opts.Metrics
 	return sl.run(threads)
 }
 
@@ -71,6 +88,7 @@ type slave struct {
 	params  align.Params
 	lanes   int
 	striped bool
+	reg     *obs.Registry
 
 	replica atomic.Pointer[replicaState]
 	rows    *triangle.RowStore // cache of original rows
@@ -237,11 +255,15 @@ func (sl *slave) deliverRow(r int, row []int32) {
 }
 
 // origRow returns the original bottom row for split r, fetching it from
-// the master on a cache miss.
+// the master on a cache miss. Fetch latency (request to delivery,
+// including any re-requests) lands in the cluster/row_fetch_ns
+// histogram.
 func (sl *slave) origRow(r int) ([]int32, error) {
 	if row, ok := sl.rows.Get(r); ok {
 		return row, nil
 	}
+	sl.reg.Counter("cluster/row_requests").Inc()
+	fetchStart := time.Now()
 	ch := make(chan []int32, 1)
 	sl.mu.Lock()
 	sl.rowWaiters[r] = ch
@@ -276,12 +298,23 @@ wait:
 		return nil, fmt.Errorf("cluster: master sent row for split %d with %d entries, want %d",
 			r, len(row), len(sl.s)-r)
 	}
+	sl.reg.Histogram("cluster/row_fetch_ns").Observe(time.Since(fetchStart))
 	sl.rows.Put(r, row)
 	return row, nil
 }
 
-// work executes one job and reports the result.
+// work executes one job and reports the result. Job latency (kernel
+// plus any row fetch) lands in the per-rank cluster/job_ns histogram,
+// since the engine's align_ns histogram lives on the master and never
+// sees slave-side kernel time.
 func (sl *slave) work(job msgJob) error {
+	rank := sl.comm.Rank()
+	sl.reg.Counter(fmt.Sprintf("cluster/jobs_done/rank%d", rank)).Inc()
+	if sl.reg != nil {
+		defer func(t0 time.Time) {
+			sl.reg.Histogram(fmt.Sprintf("cluster/job_ns/rank%d", rank)).Observe(time.Since(t0))
+		}(time.Now())
+	}
 	m := len(sl.s)
 	r0 := int(job.R)
 	members := 1

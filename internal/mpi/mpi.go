@@ -21,7 +21,9 @@
 // hangs without closing its socket is also reported as TagDown, keeps
 // accepting connections after the initial world forms (new workers
 // surface as TagJoin), and bounds handshakes and frame I/O with
-// deadlines so one stalled client cannot wedge the endpoint.
+// deadlines so one stalled client cannot wedge the endpoint. Heartbeat
+// probes carry a monotonic timestamp echoed back on reserved tag 252,
+// feeding per-peer round-trip gauges into TCPOptions.Metrics.
 package mpi
 
 import (

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Wire format, per frame:
@@ -28,8 +30,42 @@ import (
 
 var tcpMagic = [4]byte{'R', 'P', 'R', '1'}
 
-// tagHeartbeat is the wire-level liveness probe (never delivered).
+// tagHeartbeat is the wire-level liveness probe (never delivered). Its
+// payload is the sender's monotonic send time (8 bytes, nanoseconds);
+// the receiver echoes it back as tagHeartbeatAck so the original
+// sender can gauge the link's round-trip time. Empty payloads (older
+// peers, tests) are still valid probes — they simply are not echoed.
 const tagHeartbeat Tag = 254
+
+// tagHeartbeatAck carries a heartbeat payload back to its sender for
+// RTT measurement (never delivered to the application).
+const tagHeartbeatAck Tag = 252
+
+// hbEpoch is the process-local monotonic base for heartbeat
+// timestamps. Timestamps never cross process boundaries meaningfully —
+// each side only interprets echoes of its own heartbeats.
+var hbEpoch = time.Now()
+
+// hbStamp returns the current monotonic heartbeat payload.
+func hbStamp() []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(time.Since(hbEpoch).Nanoseconds()))
+	return b[:]
+}
+
+// hbRTT converts an echoed payload to a round-trip time, or -1 when
+// the payload is absent or implausible.
+func hbRTT(payload []byte) int64 {
+	if len(payload) != 8 {
+		return -1
+	}
+	sent := int64(binary.LittleEndian.Uint64(payload))
+	rtt := time.Since(hbEpoch).Nanoseconds() - sent
+	if rtt < 0 {
+		return -1
+	}
+	return rtt
+}
 
 // TCPOptions tunes the failure-detection behaviour of the TCP
 // transport. A zero field selects its default; a negative
@@ -51,6 +87,10 @@ type TCPOptions struct {
 	// WriteTimeout bounds one frame write so a peer that stopped
 	// reading cannot block senders forever.
 	WriteTimeout time.Duration
+	// Metrics, when non-nil, receives transport telemetry: per-peer
+	// heartbeat round-trip gauges (mpi/hb_rtt_ns/rank<N>) and heartbeat
+	// send/receive counters.
+	Metrics *obs.Registry
 }
 
 // DefaultTCPOptions returns the settings used by the plain ListenTCP
@@ -201,6 +241,7 @@ type tcpConn struct {
 	br           *bufio.Reader
 	readTimeout  time.Duration // max silence between reads (heartbeat timeout)
 	writeTimeout time.Duration
+	reg          *obs.Registry
 
 	wmu sync.Mutex
 	bw  *bufio.Writer
@@ -216,7 +257,30 @@ func newTCPConn(c net.Conn, opts TCPOptions) *tcpConn {
 		bw:           bufio.NewWriterSize(c, 64<<10),
 		readTimeout:  opts.HeartbeatTimeout,
 		writeTimeout: opts.WriteTimeout,
+		reg:          opts.Metrics,
 	}
+}
+
+// handleHeartbeat consumes a transport-level frame: a probe is echoed
+// back (best effort) so the peer can measure round-trip time, an echo
+// of our own probe updates the peer's RTT gauge. ourRank stamps the
+// echo frame; peer names the gauge. Reports whether the frame was a
+// transport frame the caller must not deliver.
+func (t *tcpConn) handleHeartbeat(msg Message, ourRank, peer int) bool {
+	switch msg.Tag {
+	case tagHeartbeat:
+		t.reg.Counter("mpi/hb_recv").Inc()
+		if len(msg.Data) == 8 {
+			go t.writeFrame(ourRank, tagHeartbeatAck, msg.Data)
+		}
+		return true
+	case tagHeartbeatAck:
+		if rtt := hbRTT(msg.Data); rtt >= 0 {
+			t.reg.Gauge(fmt.Sprintf("mpi/hb_rtt_ns/rank%d", peer)).Set(rtt)
+		}
+		return true
+	}
+	return false
 }
 
 func (t *tcpConn) writeFrame(from int, tag Tag, data []byte) error {
@@ -300,9 +364,10 @@ func (t *tcpConn) pinger(from int, interval time.Duration, done <-chan struct{})
 		case <-done:
 			return
 		case <-tick.C:
-			if t.writeFrame(from, tagHeartbeat, nil) != nil {
+			if t.writeFrame(from, tagHeartbeat, hbStamp()) != nil {
 				return
 			}
+			t.reg.Counter("mpi/hb_sent").Inc()
 		}
 	}
 }
@@ -318,7 +383,7 @@ type tcpMaster struct {
 	initialDone atomic.Bool
 
 	mu    sync.Mutex
-	next  int // next rank to assign
+	next  int              // next rank to assign
 	conns map[int]*tcpConn // rank -> conn; nil entry = rank is down
 
 	closeOnce sync.Once
@@ -480,7 +545,7 @@ func (m *tcpMaster) reader(rank int, tc *tcpConn) {
 			m.deliver(Message{From: rank, Tag: TagDown})
 			return
 		}
-		if msg.Tag == tagHeartbeat {
+		if tc.handleHeartbeat(msg, 0, rank) {
 			continue
 		}
 		msg.From = rank // trust the connection, not the frame header
@@ -558,7 +623,7 @@ func (w *tcpWorker) reader() {
 			}
 			return
 		}
-		if msg.Tag == tagHeartbeat {
+		if w.conn.handleHeartbeat(msg, w.rank, 0) {
 			continue
 		}
 		msg.From = 0

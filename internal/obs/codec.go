@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Stable binary encodings for Snapshot and []Event, so telemetry can be
+// shipped between ranks, written to disk, and diffed: the same logical
+// snapshot always encodes to the same bytes (map keys are sorted).
+//
+// Wire format (little-endian):
+//
+//	snapshot: magic "OBS1"
+//	          u32 nCounters | (str name, i64 value)*
+//	          u32 nGauges   | (str name, i64 value)*
+//	          u32 nHists    | (str name, i64 count, i64 sum,
+//	                           u32 nBuckets, i64*nBuckets)*
+//	journal:  magic "OBJ1"
+//	          u32 nEvents | (u64 seq, i64 at, u8 kind, i32 rank,
+//	                         i32 r, i64 arg)*
+//
+// Decoders bound every length against the remaining input so hostile
+// frames cannot force large allocations.
+
+var (
+	snapMagic    = [4]byte{'O', 'B', 'S', '1'}
+	journalMagic = [4]byte{'O', 'B', 'J', '1'}
+)
+
+// maxName bounds one metric name; maxCount bounds one collection.
+const (
+	maxName  = 1 << 12
+	maxCount = 1 << 20
+)
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendI64(b []byte, v int64) []byte  { return binary.LittleEndian.AppendUint64(b, uint64(v)) }
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// Encode renders the snapshot in the stable binary format.
+func (s Snapshot) Encode() []byte {
+	b := append([]byte(nil), snapMagic[:]...)
+	b = appendU32(b, uint32(len(s.Counters)))
+	for _, name := range sortedKeys(s.Counters) {
+		b = appendStr(b, name)
+		b = appendI64(b, s.Counters[name])
+	}
+	b = appendU32(b, uint32(len(s.Gauges)))
+	for _, name := range sortedKeys(s.Gauges) {
+		b = appendStr(b, name)
+		b = appendI64(b, s.Gauges[name])
+	}
+	b = appendU32(b, uint32(len(s.Histograms)))
+	for _, name := range sortedKeys(s.Histograms) {
+		b = appendStr(b, name)
+		h := s.Histograms[name]
+		b = appendI64(b, h.Count)
+		b = appendI64(b, h.Sum)
+		b = appendU32(b, uint32(len(h.Buckets)))
+		for _, v := range h.Buckets {
+			b = appendI64(b, v)
+		}
+	}
+	return b
+}
+
+// reader decodes the wire format with sticky errors and bounds checks.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("obs: "+format, args...)
+	}
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.b) {
+		r.fail("truncated input at offset %d", r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) i64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail("truncated input at offset %d", r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return int64(v)
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail("truncated input at offset %d", r.off)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err != nil {
+		return ""
+	}
+	if n > maxName || r.off+n > len(r.b) {
+		r.fail("string length %d exceeds input", n)
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// count reads a collection length and sanity-bounds it against both the
+// hard cap and the minimum bytes each element needs.
+func (r *reader) count(minElemBytes int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n > maxCount || n*minElemBytes > len(r.b)-r.off {
+		r.fail("collection length %d exceeds input", n)
+		return 0
+	}
+	return n
+}
+
+func (r *reader) magic(want [4]byte) {
+	if r.err != nil {
+		return
+	}
+	if len(r.b) < 4 || [4]byte(r.b[:4]) != want {
+		r.fail("bad magic")
+		return
+	}
+	r.off = 4
+}
+
+// DecodeSnapshot parses the stable binary snapshot format.
+func DecodeSnapshot(b []byte) (Snapshot, error) {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	r := &reader{b: b}
+	r.magic(snapMagic)
+	for i, n := 0, r.count(12); i < n && r.err == nil; i++ {
+		name := r.str()
+		s.Counters[name] = r.i64()
+	}
+	for i, n := 0, r.count(12); i < n && r.err == nil; i++ {
+		name := r.str()
+		s.Gauges[name] = r.i64()
+	}
+	for i, n := 0, r.count(24); i < n && r.err == nil; i++ {
+		name := r.str()
+		var h HistogramSnapshot
+		h.Count = r.i64()
+		h.Sum = r.i64()
+		nb := r.count(8)
+		if nb != HistogramBuckets {
+			r.fail("histogram %q has %d buckets, want %d", name, nb, HistogramBuckets)
+			break
+		}
+		for j := 0; j < nb; j++ {
+			h.Buckets[j] = r.i64()
+		}
+		s.Histograms[name] = h
+	}
+	if r.err == nil && r.off != len(b) {
+		r.fail("%d trailing bytes", len(b)-r.off)
+	}
+	return s, r.err
+}
+
+// EncodeEvents renders a journal slice in the stable binary format.
+func EncodeEvents(events []Event) []byte {
+	b := append([]byte(nil), journalMagic[:]...)
+	b = appendU32(b, uint32(len(events)))
+	for _, ev := range events {
+		b = appendI64(b, int64(ev.Seq))
+		b = appendI64(b, ev.At)
+		b = append(b, byte(ev.Kind))
+		b = appendU32(b, uint32(ev.Rank))
+		b = appendU32(b, uint32(ev.R))
+		b = appendI64(b, ev.Arg)
+	}
+	return b
+}
+
+// DecodeEvents parses the stable binary journal format.
+func DecodeEvents(b []byte) ([]Event, error) {
+	r := &reader{b: b}
+	r.magic(journalMagic)
+	n := r.count(33)
+	events := make([]Event, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		ev := Event{
+			Seq:  uint64(r.i64()),
+			At:   r.i64(),
+			Kind: EventKind(r.u8()),
+			Rank: int32(r.u32()),
+			R:    int32(r.u32()),
+			Arg:  r.i64(),
+		}
+		if r.err == nil {
+			events = append(events, ev)
+		}
+	}
+	if r.err == nil && r.off != len(b) {
+		r.fail("%d trailing bytes", len(b)-r.off)
+	}
+	return events, r.err
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sampleSnapshot() Snapshot {
+	reg := NewRegistry()
+	reg.Counter("engine/alignments").Add(42)
+	reg.Counter("cluster/dispatch/total").Add(7)
+	reg.Gauge("cluster/live_slaves").Set(3)
+	reg.Gauge("mpi/hb_rtt_ns/rank1").Set(120_000)
+	reg.Histogram("engine/align_ns").Observe(50 * time.Microsecond)
+	reg.Histogram("engine/align_ns").Observe(3 * time.Millisecond)
+	return reg.Snapshot()
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	want := sampleSnapshot()
+	enc := want.Encode()
+	got, err := DecodeSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotCodecStable(t *testing.T) {
+	a := sampleSnapshot()
+	b := sampleSnapshot()
+	if string(a.Encode()) != string(b.Encode()) {
+		t.Fatal("same logical snapshot encoded to different bytes")
+	}
+}
+
+func TestSnapshotCodecEmpty(t *testing.T) {
+	empty := NewRegistry().Snapshot()
+	got, err := DecodeSnapshot(empty.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Counters)+len(got.Gauges)+len(got.Histograms) != 0 {
+		t.Fatalf("empty round trip = %+v", got)
+	}
+}
+
+func TestEventsCodecRoundTrip(t *testing.T) {
+	want := []Event{
+		{Seq: 1, At: 10, Kind: EvEnqueue, Rank: -1, R: 5, Arg: 0},
+		{Seq: 2, At: 25, Kind: EvDispatch, Rank: 2, R: 5, Arg: 0},
+		{Seq: 3, At: 99, Kind: EvAccept, Rank: -1, R: 5, Arg: 1234},
+		{Seq: 4, At: 120, Kind: EvRankDown, Rank: 1, R: -1, Arg: 3},
+	}
+	got, err := DecodeEvents(EncodeEvents(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestEventsCodecEmpty(t *testing.T) {
+	got, err := DecodeEvents(EncodeEvents(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty round trip = %+v", got)
+	}
+}
+
+func TestDecodeHostileInputs(t *testing.T) {
+	valid := sampleSnapshot().Encode()
+	validEvents := EncodeEvents([]Event{{Seq: 1, Kind: EvAccept, Rank: -1, R: 2, Arg: 9}})
+
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"nil", nil},
+		{"empty", []byte{}},
+		{"short magic", []byte("OB")},
+		{"wrong magic", []byte("NOPE0000")},
+		{"magic only", []byte("OBS1")},
+		{"truncated", valid[:len(valid)-3]},
+		{"trailing garbage", append(append([]byte(nil), valid...), 0xFF)},
+		{"huge count", append([]byte("OBS1"), 0xFF, 0xFF, 0xFF, 0xFF)},
+	}
+	for _, c := range cases {
+		if _, err := DecodeSnapshot(c.b); err == nil {
+			t.Errorf("DecodeSnapshot(%s): expected error", c.name)
+		}
+	}
+
+	evCases := [][]byte{
+		nil,
+		[]byte("OBJ1"),
+		append([]byte("OBJ1"), 0xFF, 0xFF, 0xFF, 0xFF),
+		validEvents[:len(validEvents)-1],
+		append(append([]byte(nil), validEvents...), 0x00),
+		valid, // snapshot bytes fed to the journal decoder
+	}
+	for i, b := range evCases {
+		if _, err := DecodeEvents(b); err == nil {
+			t.Errorf("DecodeEvents case %d: expected error", i)
+		}
+	}
+}
+
+func TestDecodeHugeStringRejected(t *testing.T) {
+	// A frame claiming a name longer than maxName must be rejected
+	// before any allocation attempt.
+	b := []byte("OBS1")
+	b = appendU32(b, 1)           // one counter
+	b = appendU32(b, maxName+100) // absurd name length
+	if _, err := DecodeSnapshot(b); err == nil {
+		t.Fatal("expected error for oversized name")
+	}
+}
+
+func TestDecodeWrongBucketCount(t *testing.T) {
+	b := []byte("OBS1")
+	b = appendU32(b, 0) // counters
+	b = appendU32(b, 0) // gauges
+	b = appendU32(b, 1) // one histogram
+	b = appendStr(b, "h")
+	b = appendI64(b, 1) // count
+	b = appendI64(b, 5) // sum
+	b = appendU32(b, 3) // wrong bucket count
+	for i := 0; i < 3; i++ {
+		b = appendI64(b, 0)
+	}
+	if _, err := DecodeSnapshot(b); err == nil {
+		t.Fatal("expected error for wrong bucket count")
+	}
+}

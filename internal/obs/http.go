@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// DebugServer is the opt-in HTTP debug listener:
+//
+//	GET /metrics        JSON registry snapshot
+//	GET /trace?n=200    JSON tail of the run journal (default 200)
+//	GET /debug/pprof/*  the standard pprof handlers
+//
+// It is meant for operators, not end users: StartDebug binds loopback
+// when the address has no host, and nothing authenticates requests, so
+// exposing it beyond localhost is an explicit operator decision
+// (DESIGN.md section 8).
+type DebugServer struct {
+	// Addr is the bound address (useful when the requested port was 0).
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebug serves reg and jnl (either may be nil) on addr. An
+// address without a host part — ":9621" — binds 127.0.0.1.
+func StartDebug(addr string, reg *Registry, jnl *Journal) (*DebugServer, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug address %q: %w", addr, err)
+	}
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, port))
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen: %w", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 200
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < -1 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		writeJSON(w, struct {
+			Dropped uint64  `json:"dropped"`
+			Events  []Event `json:"events"`
+		}{jnl.Dropped(), jnl.Tail(n)})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &DebugServer{
+		Addr: ln.Addr().String(),
+		ln:   ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Close stops the listener.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

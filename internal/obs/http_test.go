@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("engine/alignments").Add(11)
+	reg.Histogram("engine/align_ns").Observe(time.Millisecond)
+	jnl := NewJournal(16)
+	for i := 0; i < 20; i++ { // overflow the ring so dropped > 0
+		jnl.Record(EvAccept, -1, int32(i), int64(100+i))
+	}
+
+	srv, err := StartDebug("127.0.0.1:0", reg, jnl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.HasPrefix(srv.Addr, "127.0.0.1:") {
+		t.Fatalf("addr = %q, want localhost bind", srv.Addr)
+	}
+
+	get := func(path string) []byte {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/metrics"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["engine/alignments"] != 11 {
+		t.Fatalf("metrics = %+v", snap.Counters)
+	}
+	if snap.Histograms["engine/align_ns"].Count != 1 {
+		t.Fatalf("histograms = %+v", snap.Histograms)
+	}
+
+	var trace struct {
+		Dropped uint64  `json:"dropped"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal(get("/trace?n=5"), &trace); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Events) != 5 {
+		t.Fatalf("trace tail = %d events, want 5", len(trace.Events))
+	}
+	if trace.Dropped != 4 {
+		t.Fatalf("dropped = %d, want 4", trace.Dropped)
+	}
+	if last := trace.Events[4]; last.R != 19 {
+		t.Fatalf("tail not most-recent: %+v", last)
+	}
+
+	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Fatal("pprof cmdline empty")
+	}
+}
+
+func TestDebugServerDefaultHost(t *testing.T) {
+	srv, err := StartDebug(":0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Bare-port addresses must bind localhost, not all interfaces.
+	if !strings.HasPrefix(srv.Addr, "127.0.0.1:") {
+		t.Fatalf("addr = %q, want 127.0.0.1 default", srv.Addr)
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// EventKind labels one journal event. The task-queue kinds trace a
+// top-alignment run (a strict run's accept sequence is reproducible, so
+// two journals of the same input must agree on it); the cluster kinds
+// trace the distributed scheduler.
+type EventKind uint8
+
+const (
+	// EvEnqueue: task R entered the queue (initial population).
+	EvEnqueue EventKind = 1
+	// EvRealign: task R realigned; Arg is the new score.
+	EvRealign EventKind = 2
+	// EvAccept: task R's alignment accepted as a top; Arg is the score.
+	EvAccept EventKind = 3
+	// EvShadowReject: Arg bottom-row endings of task R rejected as
+	// shadows.
+	EvShadowReject EventKind = 4
+	// EvSpecWaste: a speculative realignment of task R was computed
+	// against a snapshot that is no longer current; Arg is the version
+	// it was computed against.
+	EvSpecWaste EventKind = 5
+	// EvDispatch: task R dispatched to slave Rank.
+	EvDispatch EventKind = 6
+	// EvRedispatch: overdue task R speculatively re-dispatched to Rank.
+	EvRedispatch EventKind = 7
+	// EvDuplicate: a duplicate result for task R from Rank was dropped.
+	EvDuplicate EventKind = 8
+	// EvRankDown: slave Rank declared dead; Arg is the number of its
+	// tasks requeued.
+	EvRankDown EventKind = 9
+	// EvRankJoin: slave Rank joined (or rejoined) the run.
+	EvRankJoin EventKind = 10
+)
+
+// String names the kind for /trace output.
+func (k EventKind) String() string {
+	switch k {
+	case EvEnqueue:
+		return "enqueue"
+	case EvRealign:
+		return "realign"
+	case EvAccept:
+		return "accept"
+	case EvShadowReject:
+		return "shadow-reject"
+	case EvSpecWaste:
+		return "spec-waste"
+	case EvDispatch:
+		return "dispatch"
+	case EvRedispatch:
+		return "redispatch"
+	case EvDuplicate:
+		return "duplicate"
+	case EvRankDown:
+		return "rank-down"
+	case EvRankJoin:
+		return "rank-join"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one journal entry. At is nanoseconds since the journal was
+// created, taken from the monotonic clock, so events can be ordered and
+// latencies derived even if the wall clock steps. Rank is -1 for local
+// (non-cluster) events; Arg is kind-specific.
+type Event struct {
+	Seq  uint64    `json:"seq"`
+	At   int64     `json:"at_ns"`
+	Kind EventKind `json:"kind"`
+	Rank int32     `json:"rank"`
+	R    int32     `json:"r"`
+	Arg  int64     `json:"arg"`
+}
+
+// Journal is a bounded in-memory ring of events. Recording is
+// mutex-serialised (events are queue-rate, not cell-rate); when the
+// ring is full the oldest events are dropped and counted. All methods
+// are safe on a nil receiver.
+type Journal struct {
+	base time.Time
+
+	mu      sync.Mutex
+	seq     uint64
+	dropped uint64
+	buf     []Event
+	start   int // index of oldest retained event
+	n       int // number of retained events
+}
+
+// DefaultJournalCap is the ring capacity NewJournal(0) selects.
+const DefaultJournalCap = 1 << 14
+
+// NewJournal returns a journal retaining up to capacity events
+// (DefaultJournalCap when capacity <= 0).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCap
+	}
+	return &Journal{base: time.Now(), buf: make([]Event, capacity)}
+}
+
+// Record appends one event, stamping it with the next sequence number
+// and the monotonic time since the journal's creation.
+func (j *Journal) Record(kind EventKind, rank, r int32, arg int64) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	// Stamped under the lock so At is monotone with Seq even when
+	// goroutines race to record.
+	at := time.Since(j.base).Nanoseconds()
+	j.seq++
+	ev := Event{Seq: j.seq, At: at, Kind: kind, Rank: rank, R: r, Arg: arg}
+	if j.n < len(j.buf) {
+		j.buf[(j.start+j.n)%len(j.buf)] = ev
+		j.n++
+	} else {
+		j.buf[j.start] = ev
+		j.start = (j.start + 1) % len(j.buf)
+		j.dropped++
+	}
+	j.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (j *Journal) Events() []Event {
+	return j.Tail(-1)
+}
+
+// Tail returns the most recent n retained events, oldest first (all of
+// them when n < 0 or n exceeds the retained count).
+func (j *Journal) Tail(n int) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n < 0 || n > j.n {
+		n = j.n
+	}
+	out := make([]Event, n)
+	first := j.start + (j.n - n)
+	for i := 0; i < n; i++ {
+		out[i] = j.buf[(first+i)%len(j.buf)]
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Dropped returns how many events were evicted from the ring.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// Accepts filters the retained events down to the accept sequence: the
+// (split, score) pairs in acceptance order. Two strict-mode runs of the
+// same input must produce identical accept sequences.
+func (j *Journal) Accepts() []Event {
+	var out []Event
+	for _, ev := range j.Events() {
+		if ev.Kind == EvAccept {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,317 @@
+// Package obs is the unified observability layer: a typed metrics
+// registry (atomic counters, gauges, and bucketed latency histograms
+// with a stable snapshot encoding), a run journal that records
+// task-queue and cluster events with monotonic timestamps, and an
+// opt-in HTTP debug listener serving /metrics, /trace, and pprof.
+//
+// The paper's evaluation (Sections 3 and 5) rests on instrumentation —
+// realignment-avoidance percentages, speculation overhead, per-level
+// speedups — and a production deployment needs the same numbers live.
+// Package stats builds its engine counters on the primitives here;
+// packages cluster and mpi feed per-rank dispatch counters, heartbeat
+// round-trip gauges, and row-request latencies into a Registry.
+//
+// Every type is safe on a nil receiver, so instrumentation can be
+// threaded through hot paths as optional pointers without branching at
+// call sites.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 for nil).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. The zero value is ready to
+// use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by n (negative allowed).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Load returns the current value (0 for nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistogramBuckets is the fixed bucket count of every Histogram: bucket
+// i counts observations in [2^i, 2^(i+1)) nanoseconds (bucket 0 also
+// absorbs zero and negative durations, the last bucket absorbs the
+// tail), covering ~1ns to ~34s.
+const HistogramBuckets = 35
+
+// Histogram is a bucketed latency histogram with power-of-two bucket
+// boundaries. The zero value is ready to use and all methods are safe
+// for concurrent use.
+//
+// Observe increments the bucket before the count, and Snapshot loads
+// the count before the buckets, so for any snapshot taken while
+// writers are active sum(Buckets) >= Count holds — a snapshot is never
+// torn the other way.
+type Histogram struct {
+	buckets [HistogramBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // total nanoseconds
+}
+
+// bucketFor maps a duration in nanoseconds to its bucket index.
+func bucketFor(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns)) - 1
+	if b >= HistogramBuckets {
+		b = HistogramBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	h.buckets[bucketFor(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Snapshot returns a point-in-time copy (zero snapshot for nil).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64                   `json:"count"`
+	Sum     int64                   `json:"sum_ns"` // total nanoseconds
+	Buckets [HistogramBuckets]int64 `json:"buckets"`
+}
+
+// Merge folds another snapshot into this one (e.g. to aggregate
+// per-rank latency histograms on the master).
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the mean observed duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}
+
+// Registry names metrics. Metrics may be created through the registry
+// (Counter/Gauge/Histogram are get-or-create) or allocated elsewhere
+// and bound under a name (Bind*), in which case the registry snapshot
+// reads the live shared value — package stats binds its engine
+// counters this way. All methods are safe on a nil receiver; the
+// get-or-create accessors then return nil, which every metric method
+// tolerates.
+type Registry struct {
+	mu     sync.Mutex
+	caps   map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		caps:   make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.caps[name]
+	if c == nil {
+		c = &Counter{}
+		r.caps[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// BindCounter registers an externally owned counter under name; the
+// snapshot reads the shared value live. No-op when either side is nil.
+func (r *Registry) BindCounter(name string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	r.caps[name] = c
+	r.mu.Unlock()
+}
+
+// BindGauge registers an externally owned gauge under name.
+func (r *Registry) BindGauge(name string, g *Gauge) {
+	if r == nil || g == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = g
+	r.mu.Unlock()
+}
+
+// BindHistogram registers an externally owned histogram under name.
+func (r *Registry) BindHistogram(name string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hists[name] = h
+	r.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of a registry, with stable JSON and
+// binary encodings (see codec.go). Map iteration order is irrelevant:
+// the binary encoding sorts names.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every metric's current value (empty snapshot for
+// nil).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.caps))
+	for k, v := range r.caps {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Load()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Load()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.Snapshot()
+	}
+	return s
+}
+
+// sortedKeys returns m's keys in lexical order (for stable encodings).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -32,6 +32,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/topalign"
 	"repro/internal/triangle"
 )
@@ -157,6 +158,11 @@ func (st *sched) worker() {
 
 		st.mu.Lock()
 		st.inflight--
+		if snapTops != st.snapTops {
+			// The triangle advanced while we computed: the result is a
+			// stale upper bound, the paper's speculation overhead.
+			st.e.Config().Trace.Record(obs.EvSpecWaste, -1, int32(t.R), int64(snapTops))
+		}
 		st.queue.Push(t)
 		st.cond.Broadcast()
 	}

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/align"
+	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/scoring"
 	"repro/internal/seq"
 	"repro/internal/stats"
@@ -159,6 +161,91 @@ func TestConfigErrors(t *testing.T) {
 	s := seq.DNA.MustEncode("ACGT")
 	if _, err := Find(s, topalign.Config{}, Config{}); err == nil {
 		t.Error("invalid topalign config accepted")
+	}
+}
+
+// TestStrictDifferentialWithJournal is the full differential battery:
+// across several seeds, strict shared-memory runs and strict in-process
+// cluster runs must be bit-identical to the sequential algorithm in
+// BOTH senses — the top alignments themselves AND the journalled accept
+// order (which split was accepted when, at what score). The accept
+// sequence is the scheduler-visible trace of the run, so agreement here
+// means the parallel engines made the same decisions in the same order,
+// not just that they converged on the same answer.
+func TestStrictDifferentialWithJournal(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		q := seq.SyntheticTitin(140, seed)
+		cfg := topalign.Config{Params: proteinParams, NumTops: 6}
+
+		seqJnl := obs.NewJournal(0)
+		seqCfg := cfg
+		seqCfg.Trace = seqJnl
+		want, err := topalign.Find(q.Codes, seqCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAccepts := seqJnl.Accepts()
+		if len(wantAccepts) != len(want.Tops) {
+			t.Fatalf("seed %d: sequential journal has %d accepts for %d tops",
+				seed, len(wantAccepts), len(want.Tops))
+		}
+		for i, ev := range wantAccepts {
+			if int(ev.R) != want.Tops[i].Split || ev.Arg != int64(want.Tops[i].Score) {
+				t.Fatalf("seed %d: accept %d journalled as (split %d, score %d), tops say (%d, %d)",
+					seed, i, ev.R, ev.Arg, want.Tops[i].Split, want.Tops[i].Score)
+			}
+		}
+
+		parJnl := obs.NewJournal(0)
+		parCfg := cfg
+		parCfg.Trace = parJnl
+		got, err := Find(q.Codes, parCfg, Config{Workers: 4})
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		assertSameTops(t, got.Tops, want.Tops)
+		assertSameAccepts(t, "parallel", seed, parJnl, wantAccepts)
+
+		cluJnl := obs.NewJournal(0)
+		cluCfg := cfg
+		cluCfg.Trace = cluJnl
+		cres, err := cluster.RunLocal(q.Codes,
+			cluster.Config{Top: cluCfg},
+			cluster.LocalSpec{Slaves: 2, ThreadsPerSlave: 2})
+		if err != nil {
+			t.Fatalf("seed %d cluster: %v", seed, err)
+		}
+		assertSameTops(t, cres.Tops, want.Tops)
+		assertSameAccepts(t, "cluster", seed, cluJnl, wantAccepts)
+	}
+}
+
+// assertSameAccepts checks a run's journalled accept sequence against
+// the sequential reference, and that the journal itself is well-formed
+// (strictly increasing seq, monotone timestamps).
+func assertSameAccepts(t *testing.T, mode string, seed uint64, jnl *obs.Journal, want []obs.Event) {
+	t.Helper()
+	evs := jnl.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("%s seed %d: journal seq not strictly increasing at %d", mode, seed, i)
+		}
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("%s seed %d: journal timestamps not monotone at %d", mode, seed, i)
+		}
+	}
+	if jnl.Dropped() != 0 {
+		t.Fatalf("%s seed %d: journal dropped %d events", mode, seed, jnl.Dropped())
+	}
+	got := jnl.Accepts()
+	if len(got) != len(want) {
+		t.Fatalf("%s seed %d: %d accepts, want %d", mode, seed, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].R != want[i].R || got[i].Arg != want[i].Arg {
+			t.Fatalf("%s seed %d: accept %d = (split %d, score %d), want (split %d, score %d)",
+				mode, seed, i, got[i].R, got[i].Arg, want[i].R, want[i].Arg)
+		}
 	}
 }
 

@@ -4,23 +4,47 @@
 // overhead of SIMD-style group scheduling (Section 5.1, <0.70%) and of
 // the parallel schedulers (Section 5.2, up to 8.4%).
 //
+// The counters are built on the primitives of package obs, so a
+// Counters can be bound into an obs.Registry (Bind) and served live
+// from the /metrics debug endpoint alongside cluster telemetry.
+//
 // All methods are safe on a nil receiver, so hot paths can thread an
 // optional *Counters without branching at call sites.
 package stats
 
 import (
 	"fmt"
-	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
-// Counters accumulates engine activity. Safe for concurrent use.
+// Counters accumulates engine activity. Safe for concurrent use; the
+// zero value is ready.
 type Counters struct {
-	alignments   atomic.Int64 // score-only matrix computations
-	cells        atomic.Int64 // matrix entries computed
-	realignments atomic.Int64 // alignments beyond each task's first
-	tracebacks   atomic.Int64 // full-matrix traceback computations
-	shadowEnds   atomic.Int64 // bottom-row cells rejected as shadows
-	queueSkips   atomic.Int64 // acceptances straight from the queue (no realign needed)
+	alignments   obs.Counter // score-only matrix computations
+	cells        obs.Counter // matrix entries computed
+	realignments obs.Counter // alignments beyond each task's first
+	tracebacks   obs.Counter // full-matrix traceback computations
+	shadowEnds   obs.Counter // bottom-row cells rejected as shadows
+	queueSkips   obs.Counter // acceptances straight from the queue (no realign needed)
+	alignNanos   obs.Histogram
+}
+
+// Bind registers every counter in reg under the engine/ namespace, so
+// a registry snapshot reads the live values. No-op when either side is
+// nil.
+func (c *Counters) Bind(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.BindCounter("engine/alignments", &c.alignments)
+	reg.BindCounter("engine/cells", &c.cells)
+	reg.BindCounter("engine/realignments", &c.realignments)
+	reg.BindCounter("engine/tracebacks", &c.tracebacks)
+	reg.BindCounter("engine/shadow_ends", &c.shadowEnds)
+	reg.BindCounter("engine/queue_skips", &c.queueSkips)
+	reg.BindHistogram("engine/align_ns", &c.alignNanos)
 }
 
 // AddAlignment records one score-only alignment over the given number of
@@ -29,11 +53,21 @@ func (c *Counters) AddAlignment(cells int64, realigned bool) {
 	if c == nil {
 		return
 	}
-	c.alignments.Add(1)
+	c.alignments.Inc()
 	c.cells.Add(cells)
 	if realigned {
-		c.realignments.Add(1)
+		c.realignments.Inc()
 	}
+}
+
+// ObserveAlignLatency records one alignment's wall time in the latency
+// histogram (the SSW paper's cells-per-second throughput metric is this
+// histogram's Sum against the cells counter).
+func (c *Counters) ObserveAlignLatency(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.alignNanos.Observe(d)
 }
 
 // AddTraceback records one full-matrix traceback over cells entries.
@@ -41,7 +75,7 @@ func (c *Counters) AddTraceback(cells int64) {
 	if c == nil {
 		return
 	}
-	c.tracebacks.Add(1)
+	c.tracebacks.Inc()
 	c.cells.Add(cells)
 }
 
@@ -58,7 +92,7 @@ func (c *Counters) AddQueueSkip() {
 	if c == nil {
 		return
 	}
-	c.queueSkips.Add(1)
+	c.queueSkips.Inc()
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -69,6 +103,8 @@ type Snapshot struct {
 	Tracebacks   int64
 	ShadowEnds   int64
 	QueueSkips   int64
+	// AlignLatency is the per-alignment wall-time histogram.
+	AlignLatency obs.HistogramSnapshot
 }
 
 // Snapshot returns the current counter values (zero Snapshot for nil).
@@ -83,6 +119,7 @@ func (c *Counters) Snapshot() Snapshot {
 		Tracebacks:   c.tracebacks.Load(),
 		ShadowEnds:   c.shadowEnds.Load(),
 		QueueSkips:   c.queueSkips.Load(),
+		AlignLatency: c.alignNanos.Snapshot(),
 	}
 }
 

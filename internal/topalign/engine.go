@@ -2,9 +2,11 @@ package topalign
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/align"
 	"repro/internal/multialign"
+	"repro/internal/obs"
 	"repro/internal/triangle"
 )
 
@@ -82,16 +84,23 @@ func (e *Engine) AlignScore(r int, tri *triangle.Triangle) int32 {
 	s1, s2 := e.s[:r], e.s[r:]
 	orig, have := e.orig.Get(r)
 	if !have {
+		t0 := time.Now()
 		row := e.scoreScalar(s1, s2, nil, r)
+		e.cfg.Counters.ObserveAlignLatency(time.Since(t0))
 		e.orig.Put(r, row)
 		e.cfg.Counters.AddAlignment(align.Cells(len(s1), len(s2)), false)
 		_, score, _ := align.BestValidEnd(row, nil)
 		return score
 	}
+	t0 := time.Now()
 	row := e.scoreScalar(s1, s2, tri, r)
+	e.cfg.Counters.ObserveAlignLatency(time.Since(t0))
 	e.cfg.Counters.AddAlignment(align.Cells(len(s1), len(s2)), true)
 	_, score, rejected := align.BestValidEnd(row, orig)
 	e.cfg.Counters.AddShadowEnds(rejected)
+	if rejected > 0 {
+		e.cfg.Trace.Record(obs.EvShadowReject, -1, int32(r), rejected)
+	}
 	return score
 }
 
@@ -123,7 +132,9 @@ func (e *Engine) AlignGroupScore(r0 int, tri *triangle.Triangle) []int32 {
 		tri = nil
 	}
 
+	t0 := time.Now()
 	g, err := multialign.ScoreGroupAuto(e.cfg.Params, e.s, r0, lanes, tri)
+	e.cfg.Counters.ObserveAlignLatency(time.Since(t0))
 	if err != nil {
 		// scalar fallback, member by member
 		for i := 0; i < lanes; i++ {
@@ -152,6 +163,9 @@ func (e *Engine) AlignGroupScore(r0 int, tri *triangle.Triangle) []int32 {
 		var rejected int64
 		_, scores[i], rejected = align.BestValidEnd(row, orig)
 		e.cfg.Counters.AddShadowEnds(rejected)
+		if rejected > 0 {
+			e.cfg.Trace.Record(obs.EvShadowReject, -1, int32(r), rejected)
+		}
 	}
 	return scores
 }
@@ -189,5 +203,6 @@ func (e *Engine) AcceptTop(r int) (TopAlignment, error) {
 		e.tri.Set(gp.I, gp.J)
 	}
 	e.tops = append(e.tops, top)
+	e.cfg.Trace.Record(obs.EvAccept, -1, int32(r), int64(a.Score))
 	return top, nil
 }

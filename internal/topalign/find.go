@@ -3,6 +3,7 @@ package topalign
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/triangle"
 )
 
@@ -60,6 +61,7 @@ func InitialQueue(e *Engine) *TaskQueue {
 	lanes := e.Config().GroupLanes
 	for r := 1; r <= e.NumSplits(); r += lanes {
 		q.Push(&Task{R: r, Score: Infinity, AlignedWith: -1})
+		e.Config().Trace.Record(obs.EvEnqueue, -1, int32(r), 0)
 	}
 	return q
 }
@@ -78,6 +80,7 @@ func Realign(e *Engine, t *Task, tri *triangle.Triangle, topNum int) {
 		t.Score = e.AlignScore(t.R, tri)
 	}
 	t.AlignedWith = topNum
+	e.Config().Trace.Record(obs.EvRealign, -1, int32(t.R), int64(t.Score))
 }
 
 // Accept accepts the task's best member as the next top alignment and

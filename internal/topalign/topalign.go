@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"repro/internal/align"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -80,6 +81,10 @@ type Config struct {
 	StripeWidth int
 	// Counters receives instrumentation; may be nil.
 	Counters *stats.Counters
+	// Trace receives task-queue events (enqueue, realign, accept,
+	// shadow-reject, speculation-waste) so a run can be traced and
+	// replayed; may be nil.
+	Trace *obs.Journal
 }
 
 // withDefaults validates and normalises a Config.

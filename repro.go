@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/repeats"
 	"repro/internal/scoring"
@@ -71,6 +72,14 @@ type Options struct {
 	Speculative bool
 	// MinPairs filters top alignments during delineation (0 = default).
 	MinPairs int
+	// Metrics, when non-nil, receives live telemetry: the engine
+	// counters (bound under engine/) and, for cluster runs, per-rank
+	// dispatch counters and row-fetch latencies. See DESIGN.md §8.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records task-queue events (enqueue, realign,
+	// accept, shadow-reject, speculation-waste) so the run can be
+	// traced and replayed.
+	Trace *obs.Journal
 }
 
 // Pair is a matched residue pair (global 1-based positions, I < J).
@@ -197,6 +206,7 @@ func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error
 		numTops = DefaultNumTops
 	}
 	counters := &stats.Counters{}
+	counters.Bind(opt.Metrics)
 	cfg := topalign.Config{
 		Params:     align.Params{Exch: exch, Gap: gap},
 		NumTops:    numTops,
@@ -204,6 +214,7 @@ func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error
 		GroupLanes: opt.Lanes,
 		Striped:    opt.Striped,
 		Counters:   counters,
+		Trace:      opt.Trace,
 	}
 
 	var (
@@ -212,7 +223,8 @@ func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error
 	)
 	switch {
 	case opt.Slaves > 0:
-		res, err = cluster.RunLocal(q.Codes, cluster.Config{Top: cfg, Speculative: opt.Speculative},
+		res, err = cluster.RunLocal(q.Codes,
+			cluster.Config{Top: cfg, Speculative: opt.Speculative, Metrics: opt.Metrics},
 			cluster.LocalSpec{Slaves: opt.Slaves, ThreadsPerSlave: opt.ThreadsPerSlave})
 	case opt.Workers > 1:
 		res, err = parallel.Find(q.Codes, cfg,
