@@ -1,10 +1,12 @@
 // Command benchjson runs the seeded titin workload at each of the
 // paper's parallelism levels and emits a machine-readable benchmark
-// file (default BENCH_PR2.json) seeding the repo's performance
-// trajectory: wall time, matrix cells computed, cells per second (the
-// SSW library's canonical alignment-throughput metric), alignment
-// counts, and the speculation overhead of the parallel scheduler
-// (paper Section 5.2 measures up to 8.4%).
+// document on stdout (or atomically to -out): wall time, matrix cells
+// computed, cells per second (the SSW library's canonical
+// alignment-throughput metric), alignment counts, and the speculation
+// overhead of the parallel scheduler (paper Section 5.2 measures up to
+// 8.4%). The committed trajectory files (BENCH_PR*.json) are produced
+// with an explicit -out; output files are written via temp-file +
+// rename, so an interrupted run can never leave a truncated document.
 //
 //	benchjson -len 1200 -tops 15 -out BENCH_PR2.json
 //	benchjson -short -out /tmp/smoke.json   (CI smoke run)
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/align"
+	"repro/internal/atomicfile"
 	"repro/internal/cluster"
 	"repro/internal/parallel"
 	"repro/internal/scoring"
@@ -60,7 +63,7 @@ func main() {
 		length = flag.Int("len", 1200, "synthetic titin length (residues)")
 		tops   = flag.Int("tops", 15, "top alignments per run")
 		seed   = flag.Uint64("seed", 1, "titin generator seed")
-		outP   = flag.String("out", "BENCH_PR2.json", "output JSON path (- for stdout)")
+		outP   = flag.String("out", "-", "output JSON path (- for stdout; files are written atomically)")
 		short  = flag.Bool("short", false, "small workload for CI smoke runs")
 	)
 	flag.Parse()
@@ -145,10 +148,10 @@ func main() {
 	}
 	doc = append(doc, '\n')
 	if *outP == "-" {
-		os.Stdout.Write(doc)
+		os.Stdout.Write(doc) //nolint:errcheck
 		return
 	}
-	if err := os.WriteFile(*outP, doc, 0o644); err != nil {
+	if err := atomicfile.WriteFile(*outP, doc, 0o644); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *outP)

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/atomicfile"
 	"repro/internal/obs"
 	"repro/internal/seq"
 )
@@ -127,7 +128,7 @@ func writeMetrics(path string, reg *obs.Registry, jnl *obs.Journal) error {
 		_, err = os.Stdout.Write(out)
 		return err
 	}
-	return os.WriteFile(path, out, 0o644)
+	return atomicfile.WriteFile(path, out, 0o644)
 }
 
 func fatal(err error) {

@@ -1,0 +1,429 @@
+// Command reproload is a closed-loop load generator for reproserve: N
+// concurrent clients hammer POST /v1/analyze over a pool of distinct
+// sequences for a fixed duration, honouring 429 Retry-After
+// backpressure, and the run is summarised as a machine-readable
+// benchmark document (throughput, p50/p95/p99 latency, cache hit rate,
+// cold-vs-hit latency ratio) for the serving performance trajectory
+// (BENCH_PR3.json).
+//
+// Every response is differentially verified against a locally computed
+// sequential analysis of the same sequence, so a run also asserts the
+// serving layer returns bit-identical results to reprocli.
+//
+//	reproload -self -clients 64 -duration 10s -out BENCH_PR3.json
+//	reproload -addr localhost:8080 -clients 32 -seqs 4 -len 600
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/atomicfile"
+	"repro/internal/obs"
+	"repro/internal/seq"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "reproserve address (host:port); empty requires -self")
+		self     = flag.Bool("self", false, "start an in-process server on an ephemeral port")
+		clients  = flag.Int("clients", 64, "concurrent closed-loop clients")
+		duration = flag.Duration("duration", 10*time.Second, "load duration")
+		seqs     = flag.Int("seqs", 8, "distinct sequences in the request mix")
+		length   = flag.Int("len", 500, "residues per synthetic sequence")
+		tops     = flag.Int("tops", 10, "top alignments per request")
+		backend  = flag.String("backend", "sequential", "backend: sequential, parallel, cluster")
+		seed     = flag.Uint64("seed", 1, "sequence generator seed")
+		verify   = flag.Bool("verify", true, "differentially verify every response against a local run")
+		workers  = flag.Int("workers", 0, "(with -self) server worker pool size")
+		queue    = flag.Int("queue", 0, "(with -self) server queue depth")
+		outP     = flag.String("out", "-", "output JSON path (- for stdout)")
+	)
+	flag.Parse()
+
+	if *self {
+		a, shutdown, err := startSelf(*workers, *queue)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		*addr = a
+	}
+	if *addr == "" {
+		fatal(fmt.Errorf("need -addr or -self"))
+	}
+
+	// The request mix: seqs distinct synthetic titin-like proteins, so
+	// the cache sees real repetition without degenerating to one key.
+	pool := make([]*seq.Sequence, *seqs)
+	for i := range pool {
+		pool[i] = seq.SyntheticTitin(*length, *seed+uint64(i))
+	}
+	// Ground truth for differential verification: the strict
+	// sequential engine, exactly what reprocli runs.
+	var truth []*repro.Report
+	if *verify {
+		truth = make([]*repro.Report, *seqs)
+		for i, q := range pool {
+			rep, err := repro.Analyze(q.ID, q.String(), repro.Options{NumTops: *tops})
+			if err != nil {
+				fatal(fmt.Errorf("local truth run: %w", err))
+			}
+			truth[i] = rep
+		}
+	}
+
+	tr := &http.Transport{MaxIdleConns: *clients * 2, MaxIdleConnsPerHost: *clients * 2}
+	client := &http.Client{Transport: tr}
+	base := "http://" + *addr
+
+	var (
+		wg          sync.WaitGroup
+		reqCount    atomic.Int64
+		shed429     atomic.Int64
+		errCount    atomic.Int64
+		divergences atomic.Int64
+	)
+	type sample struct {
+		ms    float64
+		cache string
+	}
+
+	// Cold phase: one uncontended request per distinct sequence. This
+	// measures the true engine-path latency (no queueing noise) and
+	// warms the cache so the load phase measures the hit path.
+	var coldSamples []sample
+	for i, q := range pool {
+		body, _ := json.Marshal(serve.Request{
+			ID: q.ID, Sequence: q.String(),
+			Params: serve.Params{Tops: *tops}, Backend: *backend,
+			TimeoutMS: int((5 * time.Minute).Milliseconds()),
+		})
+		t0 := time.Now()
+		resp, err := client.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fatal(fmt.Errorf("cold request %d: %w", i, err))
+		}
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || rerr != nil {
+			fatal(fmt.Errorf("cold request %d: status %d: %.200s", i, resp.StatusCode, raw))
+		}
+		var sr serve.Response
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			fatal(fmt.Errorf("cold request %d: %w", i, err))
+		}
+		coldSamples = append(coldSamples, sample{float64(time.Since(t0).Microseconds()) / 1e3, sr.Cache})
+		if *verify {
+			rep, err := sr.DecodeReport()
+			if err != nil || !sameAnalysis(truth[i], rep) {
+				fatal(fmt.Errorf("cold response for sequence %d diverges from the local sequential run", i))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "reproload: warm %d/%d (%s, %.0fms)\n",
+			i+1, len(pool), sr.Cache, coldSamples[i].ms)
+	}
+
+	// Precompute one request body per sequence: the client hot loop
+	// competes with the server for the same CPUs, so per-iteration
+	// marshalling would distort the measured hit latency.
+	bodies := make([][]byte, len(pool))
+	for i, q := range pool {
+		bodies[i], _ = json.Marshal(serve.Request{
+			ID: q.ID, Sequence: q.String(),
+			Params: serve.Params{Tops: *tops}, Backend: *backend,
+		})
+	}
+
+	perClient := make([][]sample, *clients)
+	stop := time.Now().Add(*duration)
+
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(stop); i++ {
+				idx := (c + i) % len(pool)
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/analyze", "application/json", bytes.NewReader(bodies[idx]))
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				if resp.StatusCode == http.StatusTooManyRequests {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+					shed429.Add(1)
+					time.Sleep(retryAfter(resp))
+					continue
+				}
+				raw, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				elapsed := time.Since(t0)
+				if resp.StatusCode != http.StatusOK || rerr != nil {
+					errCount.Add(1)
+					fmt.Fprintf(os.Stderr, "reproload: status %d: %.200s\n", resp.StatusCode, raw)
+					continue
+				}
+				// Decode the envelope only; the report payload is
+				// unmarshalled just for verified samples.
+				var sr struct {
+					Cache  string          `json:"cache"`
+					Report json.RawMessage `json:"report"`
+				}
+				if err := json.Unmarshal(raw, &sr); err != nil {
+					errCount.Add(1)
+					continue
+				}
+				reqCount.Add(1)
+				perClient[c] = append(perClient[c], sample{float64(elapsed.Microseconds()) / 1e3, sr.Cache})
+				// Verify every non-hit plus a sample of hits: full
+				// verification of every response would burn client CPU
+				// the server needs (this is a single-machine bench).
+				if *verify && (sr.Cache != "hit" || i%16 == 0) {
+					var rep repro.Report
+					if json.Unmarshal(sr.Report, &rep) != nil || !sameAnalysis(truth[idx], &rep) {
+						divergences.Add(1)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Merge and summarise. Cold samples come from the warmup pass
+	// (uncontended engine-path latency) plus any load-phase misses;
+	// hit samples only from the load phase, under full concurrency.
+	var all, cold, hot []float64
+	cacheCounts := map[string]int64{}
+	for _, s := range coldSamples {
+		if s.cache != "hit" {
+			cold = append(cold, s.ms)
+		}
+	}
+	for _, cs := range perClient {
+		for _, s := range cs {
+			all = append(all, s.ms)
+			cacheCounts[s.cache]++
+			switch s.cache {
+			case "miss":
+				cold = append(cold, s.ms)
+			case "hit":
+				hot = append(hot, s.ms)
+			}
+		}
+	}
+	n := reqCount.Load()
+	hits := cacheCounts["hit"]
+	doc := output{
+		Bench:       "serve-loadgen",
+		Clients:     *clients,
+		DurationS:   duration.Seconds(),
+		DistinctSeq: *seqs,
+		SeqLen:      *length,
+		Tops:        *tops,
+		Backend:     *backend,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		Requests:    n,
+		Errors:      errCount.Load(),
+		Shed429:     shed429.Load(),
+		Throughput:  float64(n) / duration.Seconds(),
+		Latency:     summarise(all),
+		ColdLatency: summarise(cold),
+		HitLatency:  summarise(hot),
+		CacheHits:   hits,
+		CacheMisses: cacheCounts["miss"],
+		CacheShared: cacheCounts["shared"],
+		Verified:    *verify,
+		Divergences: divergences.Load(),
+	}
+	if n > 0 {
+		doc.CacheHitRate = float64(hits) / float64(n)
+	}
+	if doc.HitLatency.P50 > 0 {
+		doc.ColdHitRatioP50 = doc.ColdLatency.P50 / doc.HitLatency.P50
+	}
+	if snap, err := scrapeMetrics(client, base); err == nil {
+		doc.ServerQueueDepthMax = snap.Gauges["serve/queue_depth"]
+		doc.ServerCacheEvictions = snap.Counters["cache/evictions"]
+		doc.ServerEngineCells = snap.Counters["serve/engine_cells"]
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"reproload: %d reqs (%.0f rps), %d errors, %d shed, p50 %.2fms p99 %.2fms, hit rate %.2f, cold/hit %.0fx, divergences %d\n",
+		n, doc.Throughput, doc.Errors, doc.Shed429,
+		doc.Latency.P50, doc.Latency.P99, doc.CacheHitRate, doc.ColdHitRatioP50, doc.Divergences)
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *outP == "-" {
+		os.Stdout.Write(enc) //nolint:errcheck
+	} else if err := atomicfile.WriteFile(*outP, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	if doc.Divergences > 0 {
+		fatal(fmt.Errorf("%d responses diverged from the local sequential run", doc.Divergences))
+	}
+	if doc.Errors > 0 {
+		fatal(fmt.Errorf("%d requests failed", doc.Errors))
+	}
+}
+
+// output is the benchmark document (BENCH_PR3.json schema).
+type output struct {
+	Bench       string  `json:"bench"`
+	Clients     int     `json:"clients"`
+	DurationS   float64 `json:"duration_s"`
+	DistinctSeq int     `json:"distinct_seqs"`
+	SeqLen      int     `json:"seq_len"`
+	Tops        int     `json:"tops"`
+	Backend     string  `json:"backend"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	GoVersion   string  `json:"go_version"`
+
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	Shed429    int64   `json:"shed_429"`
+	Throughput float64 `json:"throughput_rps"`
+
+	Latency     quantiles `json:"latency_ms"`
+	ColdLatency quantiles `json:"cold_latency_ms"`
+	HitLatency  quantiles `json:"hit_latency_ms"`
+	// ColdHitRatioP50 is the cache speedup: cold-path p50 over
+	// cache-hit p50.
+	ColdHitRatioP50 float64 `json:"cold_hit_ratio_p50"`
+
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheShared  int64   `json:"cache_shared"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	Verified    bool  `json:"verified"`
+	Divergences int64 `json:"divergences"`
+
+	ServerQueueDepthMax  int64 `json:"server_queue_depth_last"`
+	ServerCacheEvictions int64 `json:"server_cache_evictions"`
+	ServerEngineCells    int64 `json:"server_engine_cells"`
+}
+
+type quantiles struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+func summarise(ms []float64) quantiles {
+	if len(ms) == 0 {
+		return quantiles{}
+	}
+	sort.Float64s(ms)
+	var sum float64
+	for _, v := range ms {
+		sum += v
+	}
+	pick := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(ms)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return ms[i]
+	}
+	return quantiles{
+		N: int64(len(ms)), Mean: sum / float64(len(ms)),
+		P50: pick(0.50), P95: pick(0.95), P99: pick(0.99), Max: ms[len(ms)-1],
+	}
+}
+
+// sameAnalysis compares the analysis content of two reports — tops and
+// families, not engine stats (those legitimately differ across
+// backends and cache hits).
+func sameAnalysis(want, got *repro.Report) bool {
+	if got == nil {
+		return false
+	}
+	return want.SeqLen == got.SeqLen &&
+		reflect.DeepEqual(want.Tops, got.Tops) &&
+		reflect.DeepEqual(want.Families, got.Families)
+}
+
+func retryAfter(resp *http.Response) time.Duration {
+	d := 100 * time.Millisecond
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			d = time.Duration(secs) * time.Second
+		}
+	}
+	// A closed-loop bench run is short; cap the backoff so shed
+	// clients rejoin within the measurement window.
+	if d > 250*time.Millisecond {
+		d = 250 * time.Millisecond
+	}
+	return d
+}
+
+func scrapeMetrics(client *http.Client, base string) (*obs.Snapshot, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// startSelf runs an in-process reproserve on an ephemeral port.
+func startSelf(workers, queue int) (addr string, shutdown func(), err error) {
+	reg := obs.NewRegistry()
+	srv := serve.New(serve.Config{
+		Workers:    workers,
+		QueueDepth: queue,
+		Metrics:    reg,
+		Journal:    obs.NewJournal(0),
+	})
+	srv.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln) //nolint:errcheck
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx) //nolint:errcheck
+		srv.Drain(ctx)        //nolint:errcheck
+	}
+	return ln.Addr().String(), shutdown, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reproload:", err)
+	os.Exit(1)
+}

@@ -69,7 +69,7 @@ func ExampleFormatAlignment() {
 	os.Stdout.WriteString(block)
 	// Output:
 	// top 1 (score 8): 1-4 aligned to 5-8
-	//   ATGC
-	//   ||||
-	//   ATGC
+	//   1 ATGC 4
+	//     ||||
+	//   5 ATGC 8
 }

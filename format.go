@@ -6,16 +6,20 @@ import (
 )
 
 // FormatAlignment renders a top alignment the way the paper prints its
-// examples — two gapped residue lines with a match line between them:
+// examples — two gapped residue lines with a match line between them,
+// each block carrying the start and end residue positions of both rows
+// so wrapped alignments stay navigable:
 //
-//	2 TTACAGA 8
-//	  || ||.|
-//	2 TT-GC-GA 8    (positions refer to the full sequence)
+//	top 1 (score 13): 2-8 aligned to 10-16
+//	   2 TTACAGA 8
+//	     || ||.|
+//	  10 TT-GC-GA 16    (positions refer to the full sequence)
 //
 // residues is the full analysed sequence (1-based positions match the
 // alignment's pairs); width wraps the block (0 = 60 columns). Matched
 // identical residues are marked '|', mismatches '.'; unaligned residues
-// between matches appear against '-' gaps.
+// between matches appear against '-' gaps. A block in which one row is
+// all gaps repeats that row's previous position for both start and end.
 func FormatAlignment(residues string, top TopAlignment, width int) (string, error) {
 	if width <= 0 {
 		width = 60
@@ -29,11 +33,16 @@ func FormatAlignment(residues string, top TopAlignment, width int) (string, erro
 		}
 	}
 
+	// Build the three display rows plus, per column, the residue
+	// position each row shows there (0 = gap column for that row).
 	var line1, mid, line2 []byte
-	emit := func(a, m, b byte) {
+	var pos1, pos2 []int
+	emit := func(a, m, b byte, pa, pb int) {
 		line1 = append(line1, a)
 		mid = append(mid, m)
 		line2 = append(line2, b)
+		pos1 = append(pos1, pa)
+		pos2 = append(pos2, pb)
 	}
 	for k, p := range top.Pairs {
 		if k > 0 {
@@ -41,10 +50,10 @@ func FormatAlignment(residues string, top TopAlignment, width int) (string, erro
 			// unaligned stretches between consecutive matches: residues
 			// of one side against gaps in the other
 			for i := prev.I + 1; i < p.I; i++ {
-				emit(residues[i-1], ' ', '-')
+				emit(residues[i-1], ' ', '-', i, 0)
 			}
 			for j := prev.J + 1; j < p.J; j++ {
-				emit('-', ' ', residues[j-1])
+				emit('-', ' ', residues[j-1], 0, j)
 			}
 		}
 		a, b := residues[p.I-1], residues[p.J-1]
@@ -52,22 +61,50 @@ func FormatAlignment(residues string, top TopAlignment, width int) (string, erro
 		if a == b {
 			m = '|'
 		}
-		emit(a, m, b)
+		emit(a, m, b, p.I, p.J)
 	}
 
 	var sb strings.Builder
 	start, end := top.Pairs[0], top.Pairs[len(top.Pairs)-1]
 	fmt.Fprintf(&sb, "top %d (score %d): %d-%d aligned to %d-%d\n",
 		top.Index, top.Score, start.I, end.I, start.J, end.J)
+
+	// Position columns are sized for the largest coordinate so the
+	// residue rows of every block stay vertically aligned.
+	numw := len(fmt.Sprint(max(end.I, end.J)))
+	carry1, carry2 := start.I, start.J
 	for off := 0; off < len(line1); off += width {
-		hi := off + width
-		if hi > len(line1) {
-			hi = len(line1)
-		}
-		fmt.Fprintf(&sb, "  %s\n  %s\n  %s\n", line1[off:hi], mid[off:hi], line2[off:hi])
+		hi := min(off+width, len(line1))
+		s1, e1 := blockSpan(pos1[off:hi], &carry1)
+		s2, e2 := blockSpan(pos2[off:hi], &carry2)
+		fmt.Fprintf(&sb, "  %*d %s %d\n", numw, s1, line1[off:hi], e1)
+		fmt.Fprintf(&sb, "  %*s %s\n", numw, "", mid[off:hi])
+		fmt.Fprintf(&sb, "  %*d %s %d\n", numw, s2, line2[off:hi], e2)
 		if hi < len(line1) {
 			sb.WriteByte('\n')
 		}
 	}
 	return sb.String(), nil
+}
+
+// blockSpan returns the first and last residue positions a row shows
+// within one wrapped block. A row that is all gaps in the block
+// reports its carried position twice; otherwise carry advances to the
+// block's last residue.
+func blockSpan(pos []int, carry *int) (start, end int) {
+	start, end = 0, 0
+	for _, p := range pos {
+		if p == 0 {
+			continue
+		}
+		if start == 0 {
+			start = p
+		}
+		end = p
+	}
+	if start == 0 {
+		return *carry, *carry
+	}
+	*carry = end
+	return start, end
 }

@@ -37,20 +37,83 @@ func TestFormatAlignmentWithGapsAndMismatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A-A match, B-B match, X vs gap, gap vs C (J skip 8), D-B
+	// mismatch; each row carries its start and end positions.
+	want := strings.Join([]string{
+		"top 1 (score 9): 1-4 aligned to 6-9",
+		"  1 ABX-D 4",
+		"    ||  .",
+		"  6 AB-CB 9",
+		"",
+	}, "\n")
+	if out != want {
+		t.Errorf("formatted alignment:\n%q\nwant:\n%q", out, want)
+	}
+}
+
+// TestFormatAlignmentGoldenMultiBlock is the golden test for wrapped
+// alignments: every block must carry per-line start/end positions for
+// both rows, right-aligned to the widest coordinate.
+func TestFormatAlignmentGoldenMultiBlock(t *testing.T) {
+	pairs := make([]Pair, 30)
+	for i := range pairs {
+		pairs[i] = Pair{I: i + 1, J: i + 41}
+	}
+	top := TopAlignment{Index: 2, Score: 60, Pairs: pairs}
+	residues := strings.Repeat("A", 80)
+	out, err := FormatAlignment(residues, top, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"top 2 (score 60): 1-30 aligned to 41-70",
+		"   1 AAAAAAAAAA 10",
+		"     ||||||||||",
+		"  41 AAAAAAAAAA 50",
+		"",
+		"  11 AAAAAAAAAA 20",
+		"     ||||||||||",
+		"  51 AAAAAAAAAA 60",
+		"",
+		"  21 AAAAAAAAAA 30",
+		"     ||||||||||",
+		"  61 AAAAAAAAAA 70",
+		"",
+	}, "\n")
+	if out != want {
+		t.Errorf("golden mismatch:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+// TestFormatAlignmentAllGapBlock covers a wrapped block in which one
+// row is entirely gaps: its positions must repeat the carried
+// coordinate instead of inventing a span.
+func TestFormatAlignmentAllGapBlock(t *testing.T) {
+	// Matches (1,21) (2,22) then a 12-residue I-side insertion before
+	// (15,23): at width 5 the second block is all gaps on row 2.
+	top := TopAlignment{
+		Index: 1, Score: 5,
+		Pairs: []Pair{{1, 21}, {2, 22}, {15, 23}},
+	}
+	residues := strings.Repeat("A", 30)
+	out, err := FormatAlignment(residues, top, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
-	if len(lines) != 4 {
-		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	// Block 2 (lines 5-7 with the separator at index 4): row 2 shows
+	// the carried position 22 on both ends.
+	var found bool
+	for _, ln := range lines {
+		if strings.Contains(ln, "-----") && strings.Contains(ln, "22") {
+			found = true
+			if !strings.HasSuffix(strings.TrimRight(ln, " "), "22") {
+				t.Errorf("all-gap row should end with carried position: %q", ln)
+			}
+		}
 	}
-	top1, mid, bot := strings.TrimPrefix(lines[1], "  "), strings.TrimPrefix(lines[2], "  "), strings.TrimPrefix(lines[3], "  ")
-	// A-A match, B-B match, X vs gap, gap vs C (J skip 8), D-B mismatch
-	if top1 != "ABX-D" {
-		t.Errorf("line1 = %q, want ABX-D", top1)
-	}
-	if bot != "AB-CB" {
-		t.Errorf("line2 = %q, want AB-CB", bot)
-	}
-	if mid != "||  ." {
-		t.Errorf("mid = %q, want %q", mid, "||  .")
+	if !found {
+		t.Errorf("no all-gap block with carried position 22:\n%s", out)
 	}
 }
 

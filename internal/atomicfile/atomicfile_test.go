@@ -1,0 +1,53 @@
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Fatalf("contents = %q", got)
+	}
+	if err := WriteFile(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Fatalf("contents after replace = %q", got)
+	}
+}
+
+func TestWriteFileLeavesNoTempDroppings(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir has %d entries, want 1", len(entries))
+	}
+}
+
+func TestWriteFileErrorPreservesOriginal(t *testing.T) {
+	// Writing into a missing directory must fail without touching
+	// anything else.
+	err := WriteFile(filepath.Join(t.TempDir(), "no/such/dir/out.json"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}

@@ -1,0 +1,188 @@
+// Package cache is a content-addressed LRU result cache with
+// singleflight deduplication, the memory behind the serving layer
+// (internal/serve): identical analysis requests hit a stored result
+// instead of re-running the engine, and concurrent identical requests
+// share one computation.
+//
+// The cache stores opaque values under string keys; the serving layer
+// derives keys from SHA-256(sequence) plus the canonicalised analysis
+// parameters (see serve.CacheKey), so two requests collide exactly when
+// the engine would produce bit-identical reports for both. Errors are
+// never cached: a failed computation is retried by the next request
+// for the same key.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Cache is a fixed-capacity LRU with integrated singleflight. All
+// methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*call
+
+	hits      obs.Counter
+	misses    obs.Counter
+	evictions obs.Counter
+	entries   obs.Gauge
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// call is one in-flight computation other requests can wait on.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// DefaultCapacity is the entry capacity New(0) selects.
+const DefaultCapacity = 256
+
+// New returns a cache holding up to capacity entries
+// (DefaultCapacity when capacity <= 0).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Bind registers the cache's counters in reg under the cache/
+// namespace. No-op when reg is nil.
+func (c *Cache) Bind(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.BindCounter("cache/hits", &c.hits)
+	reg.BindCounter("cache/misses", &c.misses)
+	reg.BindCounter("cache/evictions", &c.evictions)
+	reg.BindGauge("cache/entries", &c.entries)
+}
+
+// Outcome reports how GetOrCompute satisfied a request.
+type Outcome uint8
+
+const (
+	// Hit: the value was already cached.
+	Hit Outcome = iota
+	// Miss: this call ran the compute function.
+	Miss
+	// Shared: an identical computation was already in flight; this
+	// call waited for it instead of recomputing.
+	Shared
+)
+
+// String names the outcome for response metadata and journal events.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Shared:
+		return "shared"
+	}
+	return "unknown"
+}
+
+// Get returns the cached value for key, if any, marking it recently
+// used. It does not join in-flight computations.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Inc()
+		return el.Value.(*entry).val, true
+	}
+	return nil, false
+}
+
+// GetOrCompute returns the value for key, computing it with fn on a
+// miss. Concurrent calls for the same key share one fn invocation: the
+// first caller runs it, the rest block until it finishes (Outcome
+// Shared). A successful value is inserted into the LRU; an error is
+// returned to every waiter and nothing is cached.
+func (c *Cache) GetOrCompute(key string, fn func() (any, error)) (any, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Inc()
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, Hit, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-cl.done
+		return cl.val, Shared, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.misses.Inc()
+	c.mu.Unlock()
+
+	cl.val, cl.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if cl.err == nil {
+		c.insertLocked(key, cl.val)
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	return cl.val, Miss, cl.err
+}
+
+// Add inserts a value directly (replacing any existing entry for key).
+func (c *Cache) Add(key string, val any) {
+	c.mu.Lock()
+	c.insertLocked(key, val)
+	c.mu.Unlock()
+}
+
+// insertLocked adds key -> val, evicting from the LRU tail when over
+// capacity. Caller holds c.mu.
+func (c *Cache) insertLocked(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.evictions.Inc()
+	}
+	c.entries.Set(int64(c.ll.Len()))
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit/miss/eviction counts.
+func (c *Cache) Stats() (hits, misses, evictions int64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}

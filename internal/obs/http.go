@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -80,12 +81,27 @@ func StartDebug(addr string, reg *Registry, jnl *Journal) (*DebugServer, error) 
 	return s, nil
 }
 
-// Close stops the listener.
+// CloseTimeout bounds how long Close waits for in-flight scrapes
+// before force-closing their connections.
+const CloseTimeout = 2 * time.Second
+
+// Close stops the listener gracefully: new connections are refused
+// immediately, but in-flight /metrics and /trace scrapes are given
+// CloseTimeout to finish (an abrupt srv.Close would truncate a scrape
+// mid-body, handing the collector a corrupt JSON document). If the
+// timeout expires, remaining connections are force-closed.
 func (s *DebugServer) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), CloseTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Stragglers (or a hung peer) outlived the grace period; cut
+		// them off rather than hang the caller.
+		return s.srv.Close()
+	}
+	return nil
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -37,6 +37,25 @@ const (
 	EvRankDown EventKind = 9
 	// EvRankJoin: slave Rank joined (or rejoined) the run.
 	EvRankJoin EventKind = 10
+	// EvAdmit: serving-layer request R entered the admission queue; Arg
+	// is the queue depth after admission.
+	EvAdmit EventKind = 11
+	// EvBatch: request R joined an in-flight identical computation
+	// (singleflight dedup); Arg is the joined request's sequence number.
+	EvBatch EventKind = 12
+	// EvServe: request R completed; Arg is the end-to-end latency in
+	// nanoseconds.
+	EvServe EventKind = 13
+	// EvShed: request R was shed; Arg distinguishes the cause
+	// (ShedQueueFull, ShedDeadline, ShedDraining).
+	EvShed EventKind = 14
+)
+
+// Shed causes recorded in EvShed's Arg.
+const (
+	ShedQueueFull int64 = 1 // admission queue at capacity (429)
+	ShedDeadline  int64 = 2 // deadline expired before a worker picked it up
+	ShedDraining  int64 = 3 // server draining, no longer admitting
 )
 
 // String names the kind for /trace output.
@@ -62,6 +81,14 @@ func (k EventKind) String() string {
 		return "rank-down"
 	case EvRankJoin:
 		return "rank-join"
+	case EvAdmit:
+		return "admit"
+	case EvBatch:
+		return "batch"
+	case EvServe:
+		return "serve"
+	case EvShed:
+		return "shed"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro"
+	"repro/internal/scoring"
+)
+
+// Params are the analysis parameters of one serving request. The JSON
+// zero value of every field selects the same default the reprocli
+// binary uses, so a request carrying only a sequence is valid.
+type Params struct {
+	// Matrix names the exchange matrix (default BLOSUM62).
+	Matrix string `json:"matrix,omitempty"`
+	// GapOpen and GapExt define the affine gap cost; both zero selects
+	// the matrix's conventional default.
+	GapOpen int `json:"gap_open,omitempty"`
+	GapExt  int `json:"gap_ext,omitempty"`
+	// Tops is the number of top alignments (default repro.DefaultNumTops).
+	Tops int `json:"tops,omitempty"`
+	// MinScore stops the search when no alignment reaches it.
+	MinScore int `json:"min_score,omitempty"`
+	// MinPairs filters top alignments during delineation.
+	MinPairs int `json:"min_pairs,omitempty"`
+	// Lanes selects SIMD-style group alignment (0, 4, or 8).
+	Lanes int `json:"lanes,omitempty"`
+	// Striped selects the cache-aware striped kernel.
+	Striped bool `json:"striped,omitempty"`
+	// Speculative selects the paper's speculative acceptance rule for
+	// the parallel backends. Off = strict: every backend returns a
+	// result bit-identical to the sequential engine, which is what lets
+	// the cache be shared across backends.
+	Speculative bool `json:"speculative,omitempty"`
+}
+
+// Request is the body of POST /v1/analyze.
+type Request struct {
+	// ID labels the sequence in the report (default "serve").
+	ID string `json:"id,omitempty"`
+	// Sequence is the residue string to analyse.
+	Sequence string `json:"sequence"`
+	Params
+	// Backend selects the execution engine: "sequential" (default),
+	// "parallel" (shared-memory workers), or "cluster" (in-process
+	// master/slave cluster).
+	Backend string `json:"backend,omitempty"`
+	// Workers sizes the parallel backend (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Slaves and ThreadsPerSlave size the cluster backend (0 = 2 each).
+	Slaves          int `json:"slaves,omitempty"`
+	TimeoutMS       int `json:"timeout_ms,omitempty"`
+	ThreadsPerSlave int `json:"threads_per_slave,omitempty"`
+}
+
+// Response is the body of a successful POST /v1/analyze. Report is the
+// repro.Report JSON; it is kept raw because the server caches results
+// pre-encoded (a cache hit ships stored bytes instead of re-marshalling
+// tens of KB of pairs) and a client that only wants the envelope never
+// pays for decoding it.
+type Response struct {
+	ID string `json:"id,omitempty"`
+	// Cache reports how the request was satisfied: "hit" (stored
+	// result), "miss" (computed by this request), or "shared" (joined
+	// an identical in-flight computation).
+	Cache string `json:"cache"`
+	// ElapsedMS is the server-side end-to-end latency, admission
+	// included.
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Report    json.RawMessage `json:"report"`
+}
+
+// DecodeReport unmarshals the raw report payload.
+func (r *Response) DecodeReport() (*repro.Report, error) {
+	var rep repro.Report
+	if err := json.Unmarshal(r.Report, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Backend names.
+const (
+	BackendSequential = "sequential"
+	BackendParallel   = "parallel"
+	BackendCluster    = "cluster"
+)
+
+// canonicalise validates the request and resolves every defaulted
+// field to its explicit value, so that two requests asking for the
+// same analysis in different spellings produce the same cache key.
+// The sequence is trimmed and upper-cased (the engine's alphabets are
+// case-insensitive).
+func (r *Request) canonicalise(maxSeqLen int) error {
+	r.Sequence = strings.ToUpper(strings.TrimSpace(r.Sequence))
+	if r.Sequence == "" {
+		return fmt.Errorf("sequence is required")
+	}
+	if maxSeqLen > 0 && len(r.Sequence) > maxSeqLen {
+		return fmt.Errorf("sequence length %d exceeds the server limit %d", len(r.Sequence), maxSeqLen)
+	}
+	if r.ID == "" {
+		r.ID = "serve"
+	}
+	if r.Matrix == "" {
+		r.Matrix = "BLOSUM62"
+	}
+	m, ok := scoring.ByName(r.Matrix)
+	if !ok {
+		return fmt.Errorf("unknown exchange matrix %q (have BLOSUM62, PAM250, dna-unit, paper-dna)", r.Matrix)
+	}
+	if r.GapOpen == 0 && r.GapExt == 0 {
+		g := defaultGap(m)
+		r.GapOpen, r.GapExt = int(g.Open), int(g.Ext)
+	}
+	if r.GapOpen < 0 || r.GapExt < 0 {
+		return fmt.Errorf("gap penalties must be non-negative")
+	}
+	if r.Tops <= 0 {
+		r.Tops = repro.DefaultNumTops
+	}
+	if r.MinScore <= 0 {
+		r.MinScore = 1
+	}
+	switch r.Lanes {
+	case 0, 1:
+		r.Lanes = 1
+	case 4, 8:
+	default:
+		return fmt.Errorf("lanes %d must be 0, 1, 4, or 8", r.Lanes)
+	}
+	switch r.Backend {
+	case "":
+		r.Backend = BackendSequential
+	case BackendSequential, BackendParallel, BackendCluster:
+	default:
+		return fmt.Errorf("unknown backend %q (have sequential, parallel, cluster)", r.Backend)
+	}
+	if r.Backend == BackendCluster {
+		if r.Slaves <= 0 {
+			r.Slaves = 2
+		}
+		if r.ThreadsPerSlave <= 0 {
+			r.ThreadsPerSlave = 2
+		}
+	}
+	return nil
+}
+
+// defaultGap mirrors the per-matrix gap defaults of package repro.
+func defaultGap(m *scoring.Matrix) scoring.Gap {
+	switch m.Name() {
+	case "paper-dna":
+		return scoring.PaperGap
+	case "dna-unit":
+		return scoring.Gap{Open: 8, Ext: 2}
+	default:
+		return scoring.DefaultProteinGap
+	}
+}
+
+// CacheKey derives the content-addressed cache key of a canonicalised
+// request: SHA-256 over the sequence digest plus every parameter that
+// can change the report. The backend is deliberately excluded — in
+// strict mode all three backends are bit-identical, so they share
+// cache entries; speculative runs key separately because their
+// acceptance order among equal-scoring alignments may differ.
+func CacheKey(r *Request) string {
+	seqSum := sha256.Sum256([]byte(r.Sequence))
+	h := sha256.New()
+	fmt.Fprintf(h, "v1|%x|%s|%d|%d|%d|%d|%d|%d|%t|%t",
+		seqSum, r.Matrix, r.GapOpen, r.GapExt, r.Tops,
+		r.MinScore, r.MinPairs, r.Lanes, r.Striped, r.Speculative)
+	return hex.EncodeToString(h.Sum(nil))
+}

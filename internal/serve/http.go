@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// maxBodyBytes bounds a request body; a 100k-residue sequence plus
+// JSON framing fits comfortably.
+const maxBodyBytes = 8 << 20
+
+// Handler returns the daemon's HTTP mux:
+//
+//	POST /v1/analyze   run (or cache-serve) one analysis
+//	GET  /healthz      liveness + drain state
+//	GET  /metrics      JSON metrics snapshot (when Config.Metrics set)
+//	GET  /trace?n=200  journal tail (when Config.Journal set)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	if s.cfg.Metrics != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, s.cfg.Metrics.Snapshot())
+		})
+	}
+	if s.jnl != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			n := 200
+			if q := r.URL.Query().Get("n"); q != "" {
+				v, err := strconv.Atoi(q)
+				if err != nil || v < -1 {
+					writeError(w, http.StatusBadRequest, "bad n")
+					return
+				}
+				n = v
+			}
+			writeJSON(w, http.StatusOK, struct {
+				Dropped uint64      `json:"dropped"`
+				Events  []obs.Event `json:"events"`
+			}{s.jnl.Dropped(), s.jnl.Tail(n)})
+		})
+	}
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.admitMu.RLock()
+	draining := s.draining
+	s.admitMu.RUnlock()
+	status := http.StatusOK
+	state := "ok"
+	if draining {
+		// Draining is how load balancers learn to stop routing here.
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, struct {
+		Status string `json:"status"`
+		Queue  int    `json:"queue"`
+	}{state, len(s.queue)})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.requests.Inc()
+
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if err := req.canonicalise(s.cfg.MaxSequenceLen); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	j := &job{
+		req:      &req,
+		ctx:      ctx,
+		seq:      s.reqSeq.Add(1),
+		enqueued: start,
+		done:     make(chan jobResult, 1),
+	}
+	if ok, cause := s.admit(j); !ok {
+		s.recordShed(j.seq, cause)
+		switch cause {
+		case obs.ShedDraining:
+			w.Header().Set("Retry-After", "5")
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+		default:
+			// Queue full: the closed-loop clients should back off for
+			// roughly one queue-service interval.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "admission queue full")
+		}
+		return
+	}
+
+	select {
+	case res := <-j.done:
+		if res.err != nil {
+			if errors.Is(res.err, context.DeadlineExceeded) {
+				writeError(w, http.StatusGatewayTimeout, "deadline expired in queue")
+				return
+			}
+			writeError(w, http.StatusUnprocessableEntity, res.err.Error())
+			return
+		}
+		writeAnalyzeResponse(w, req.ID, res.outcome.String(),
+			float64(time.Since(start).Microseconds())/1e3, res.report)
+	case <-ctx.Done():
+		// The job may still be picked up by a worker; its result (if
+		// any) lands in the cache for the retry.
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone mid-body is not actionable
+}
+
+// writeAnalyzeResponse assembles a Response by hand: the envelope is
+// tiny and the report is already-encoded JSON straight from the cache,
+// so the hot path is two small writes and one bulk copy — no
+// reflection over tens of thousands of pairs per hit.
+func writeAnalyzeResponse(w http.ResponseWriter, id, outcome string, elapsedMS float64, report []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	var env bytes.Buffer
+	env.WriteByte('{')
+	if id != "" {
+		fmt.Fprintf(&env, `"id":%s,`, mustJSONString(id))
+	}
+	fmt.Fprintf(&env, `"cache":%q,"elapsed_ms":%g,"report":`, outcome, elapsedMS)
+	w.Write(env.Bytes()) //nolint:errcheck
+	w.Write(report)      //nolint:errcheck
+	w.Write([]byte("}\n")) //nolint:errcheck
+}
+
+// mustJSONString encodes an arbitrary string as a JSON string literal.
+func mustJSONString(s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return []byte(`""`)
+	}
+	return b
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}

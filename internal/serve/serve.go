@@ -1,0 +1,310 @@
+// Package serve is the analysis serving layer: the front door that
+// turns the one-shot engines (sequential, shared-memory parallel,
+// in-process cluster) into a daemon fit for sustained traffic.
+//
+// The pipeline is admission -> queue -> worker pool -> cache -> engine:
+//
+//   - a bounded admission queue gives the server a hard memory and
+//     latency envelope; when it is full, requests are shed immediately
+//     with 429 + Retry-After rather than queued without bound;
+//   - every request carries a deadline; a request whose deadline
+//     expires while queued is dropped by the worker without running the
+//     engine (the work would be wasted — the client is gone);
+//   - a content-addressed LRU cache (internal/cache) keyed by
+//     SHA-256(sequence) + canonicalised parameters serves repeated
+//     analyses without touching the engine, and its singleflight
+//     collapses concurrent identical requests into one engine run;
+//   - graceful drain: on SIGTERM the daemon stops admitting, finishes
+//     every queued request, and only then exits.
+//
+// Everything is wired into internal/obs: queue-depth gauge, cache
+// hit/miss/evict counters, admission-wait and end-to-end latency
+// histograms, and journal events (admit/batch/serve/shed) so a
+// production incident can be traced request by request. DESIGN.md
+// section 9 describes the architecture.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/cache"
+	"repro/internal/obs"
+)
+
+// Config sizes a Server. The zero value is usable: it serves with
+// GOMAXPROCS workers, a queue of 4x that, a 30-second default
+// deadline, and a 256-entry cache.
+type Config struct {
+	// Workers is the worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (0 = 4*Workers).
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline when the request does
+	// not carry one (0 = 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (0 = 2m).
+	MaxTimeout time.Duration
+	// MaxSequenceLen rejects oversized sequences at admission
+	// (0 = 100000 residues; the engine is O(n^3)).
+	MaxSequenceLen int
+	// CacheEntries sizes the result LRU (0 = cache.DefaultCapacity,
+	// negative disables caching).
+	CacheEntries int
+	// Metrics receives serving telemetry under the serve/ and cache/
+	// namespaces; may be nil.
+	Metrics *obs.Registry
+	// Journal receives admit/batch/serve/shed events; may be nil.
+	Journal *obs.Journal
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxSequenceLen == 0 {
+		c.MaxSequenceLen = 100000
+	}
+	return c
+}
+
+// Server is the serving layer. Create with New, start the worker pool
+// with Start, expose Handler over HTTP, stop with Drain.
+type Server struct {
+	cfg   Config
+	cache *cache.Cache
+	queue chan *job
+	jnl   *obs.Journal
+
+	admitMu  sync.RWMutex
+	draining bool
+
+	wg     sync.WaitGroup
+	reqSeq atomic.Int64
+
+	// metrics (all nil-safe when cfg.Metrics is nil)
+	requests      *obs.Counter
+	admitted      *obs.Counter
+	completed     *obs.Counter
+	errored       *obs.Counter
+	shedQueueFull *obs.Counter
+	shedDeadline  *obs.Counter
+	shedDraining  *obs.Counter
+	queueDepth    *obs.Gauge
+	admissionNS   *obs.Histogram
+	e2eNS         *obs.Histogram
+	engineNS      *obs.Histogram
+	engineCells   *obs.Counter
+	engineAligns  *obs.Counter
+}
+
+// New builds a server; call Start before serving requests.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueDepth),
+		jnl:   cfg.Journal,
+
+		requests:      cfg.Metrics.Counter("serve/requests"),
+		admitted:      cfg.Metrics.Counter("serve/admitted"),
+		completed:     cfg.Metrics.Counter("serve/completed"),
+		errored:       cfg.Metrics.Counter("serve/errors"),
+		shedQueueFull: cfg.Metrics.Counter("serve/shed_queue_full"),
+		shedDeadline:  cfg.Metrics.Counter("serve/shed_deadline"),
+		shedDraining:  cfg.Metrics.Counter("serve/shed_draining"),
+		queueDepth:    cfg.Metrics.Gauge("serve/queue_depth"),
+		admissionNS:   cfg.Metrics.Histogram("serve/admission_wait_ns"),
+		e2eNS:         cfg.Metrics.Histogram("serve/e2e_ns"),
+		engineNS:      cfg.Metrics.Histogram("serve/engine_ns"),
+		engineCells:   cfg.Metrics.Counter("serve/engine_cells"),
+		engineAligns:  cfg.Metrics.Counter("serve/engine_alignments"),
+	}
+	if cfg.CacheEntries >= 0 {
+		s.cache = cache.New(cfg.CacheEntries)
+		s.cache.Bind(cfg.Metrics)
+	}
+	return s
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Drain stops admission (new requests are shed with 503), lets the
+// workers finish every queued request, and returns when the pool has
+// wound down or ctx expires. It is the SIGTERM path: nothing admitted
+// is abandoned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.admitMu.Lock()
+	if s.draining {
+		s.admitMu.Unlock()
+		return fmt.Errorf("serve: already draining")
+	}
+	s.draining = true
+	s.admitMu.Unlock()
+	close(s.queue)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// job is one admitted request travelling through the queue.
+type job struct {
+	req      *Request
+	ctx      context.Context
+	seq      int64
+	enqueued time.Time
+	done     chan jobResult // buffered: the worker never blocks on delivery
+}
+
+type jobResult struct {
+	report  []byte // pre-encoded repro.Report JSON
+	outcome cache.Outcome
+	err     error
+}
+
+// shed cause -> counter + journal arg.
+func (s *Server) recordShed(seq int64, cause int64) {
+	switch cause {
+	case obs.ShedQueueFull:
+		s.shedQueueFull.Inc()
+	case obs.ShedDeadline:
+		s.shedDeadline.Inc()
+	case obs.ShedDraining:
+		s.shedDraining.Inc()
+	}
+	s.jnl.Record(obs.EvShed, -1, int32(seq), cause)
+}
+
+// admit places a job on the queue, or reports the shed cause.
+func (s *Server) admit(j *job) (ok bool, cause int64) {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining {
+		return false, obs.ShedDraining
+	}
+	select {
+	case s.queue <- j:
+		s.admitted.Inc()
+		s.queueDepth.Add(1)
+		s.jnl.Record(obs.EvAdmit, -1, int32(j.seq), int64(len(s.queue)))
+		return true, 0
+	default:
+		return false, obs.ShedQueueFull
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.queueDepth.Add(-1)
+		s.admissionNS.Observe(time.Since(j.enqueued))
+		if j.ctx.Err() != nil {
+			// The deadline expired while queued; the client has given
+			// up, so running the engine would be pure waste.
+			s.recordShed(j.seq, obs.ShedDeadline)
+			j.done <- jobResult{err: j.ctx.Err()}
+			continue
+		}
+		rep, outcome, err := s.compute(j)
+		if err != nil {
+			s.errored.Inc()
+		} else {
+			s.completed.Inc()
+			e2e := time.Since(j.enqueued)
+			s.e2eNS.Observe(e2e)
+			s.jnl.Record(obs.EvServe, -1, int32(j.seq), e2e.Nanoseconds())
+		}
+		j.done <- jobResult{report: rep, outcome: outcome, err: err}
+	}
+}
+
+// compute satisfies a job from the cache or the engine. Results are
+// cached pre-encoded: a hit serves stored bytes, so the hot path never
+// re-marshals a large report.
+func (s *Server) compute(j *job) ([]byte, cache.Outcome, error) {
+	run := func() (any, error) {
+		rep, err := s.runEngine(j.req)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(rep)
+	}
+	if s.cache == nil {
+		v, err := run()
+		if err != nil {
+			return nil, cache.Miss, err
+		}
+		return v.([]byte), cache.Miss, nil
+	}
+	v, outcome, err := s.cache.GetOrCompute(CacheKey(j.req), run)
+	if outcome == cache.Shared {
+		s.jnl.Record(obs.EvBatch, -1, int32(j.seq), 0)
+	}
+	if err != nil {
+		return nil, outcome, err
+	}
+	return v.([]byte), outcome, nil
+}
+
+// runEngine dispatches a canonicalised request to its backend.
+func (s *Server) runEngine(req *Request) (*repro.Report, error) {
+	opt := repro.Options{
+		Matrix:  req.Matrix,
+		GapOpen: req.GapOpen, GapExt: req.GapExt,
+		NumTops: req.Tops, MinScore: req.MinScore, MinPairs: req.MinPairs,
+		Lanes: req.Lanes, Striped: req.Striped,
+		Speculative: req.Speculative,
+	}
+	switch req.Backend {
+	case BackendParallel:
+		opt.Workers = req.Workers
+		if opt.Workers <= 1 {
+			opt.Workers = max(2, runtime.GOMAXPROCS(0))
+		}
+	case BackendCluster:
+		opt.Slaves = req.Slaves
+		opt.ThreadsPerSlave = req.ThreadsPerSlave
+	}
+	t0 := time.Now()
+	rep, err := repro.Analyze(req.ID, req.Sequence, opt)
+	if err != nil {
+		return nil, err
+	}
+	s.engineNS.Observe(time.Since(t0))
+	s.engineCells.Add(rep.Stats.Cells)
+	s.engineAligns.Add(rep.Stats.Alignments)
+	return rep, nil
+}
+
+// Cache exposes the result cache (nil when disabled); used by tests
+// and the stats endpoint.
+func (s *Server) Cache() *cache.Cache { return s.cache }
