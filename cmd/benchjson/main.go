@@ -2,14 +2,22 @@
 // paper's parallelism levels and emits a machine-readable benchmark
 // document on stdout (or atomically to -out): wall time, matrix cells
 // computed, cells per second (the SSW library's canonical
-// alignment-throughput metric), alignment counts, and the speculation
-// overhead of the parallel scheduler (paper Section 5.2 measures up to
-// 8.4%). The committed trajectory files (BENCH_PR*.json) are produced
-// with an explicit -out; output files are written via temp-file +
-// rename, so an interrupted run can never leave a truncated document.
+// alignment-throughput metric), alignment counts, heap allocations per
+// alignment, and the speculation overhead of the parallel scheduler
+// (paper Section 5.2 measures up to 8.4%). The committed trajectory
+// files (BENCH_PR*.json) are produced with an explicit -out; output
+// files are written via temp-file + rename, so an interrupted run can
+// never leave a truncated document.
 //
-//	benchjson -len 1200 -tops 15 -out BENCH_PR2.json
-//	benchjson -short -out /tmp/smoke.json   (CI smoke run)
+// Two shared-memory rows are reported: the scalar scheduler and the
+// composed configuration (workers x 8-lane groups), the paper's level
+// composition. With -baseline the document embeds a per-level
+// comparison against an earlier benchjson output, and the assertion
+// flags turn the run into a CI gate:
+//
+//	benchjson -len 1200 -tops 15 -baseline BENCH_PR2.json -out BENCH_PR4.json
+//	benchjson -short -min-speedup-shared 1.5 -max-allocs-per-align 64 \
+//	          -cpuprofile bench.pprof -out /tmp/smoke.json   (CI smoke run)
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/align"
@@ -43,7 +52,18 @@ type Level struct {
 	Alignments  int64   `json:"alignments"`
 	Tracebacks  int64   `json:"tracebacks"`
 	MeanAlignNS int64   `json:"mean_align_ns"`
-	Speedup     float64 `json:"speedup_vs_sequential"`
+	// Mallocs is the process-wide heap-object count attributable to
+	// this level's run; AllocsPerAlign divides it by the alignment
+	// count. Scheduler bookkeeping and (for the cluster level) message
+	// codecs are included, so the figure is an upper bound on kernel
+	// allocations.
+	Mallocs        int64   `json:"mallocs"`
+	AllocsPerAlign float64 `json:"allocs_per_align"`
+	Speedup        float64 `json:"speedup_vs_sequential"`
+	// BaselineWallS / WallVsBaseline are present when -baseline names a
+	// previous document containing a level with the same name.
+	BaselineWallS  float64 `json:"baseline_wall_s,omitempty"`
+	WallVsBaseline float64 `json:"wall_vs_baseline,omitempty"`
 }
 
 // Output is the whole benchmark document.
@@ -54,21 +74,46 @@ type Output struct {
 	Tops                int     `json:"tops"`
 	GOMAXPROCS          int     `json:"gomaxprocs"`
 	GoVersion           string  `json:"go_version"`
+	Baseline            string  `json:"baseline,omitempty"`
 	Levels              []Level `json:"levels"`
 	SpeculationOverhead float64 `json:"speculation_overhead"`
 }
 
 func main() {
 	var (
-		length = flag.Int("len", 1200, "synthetic titin length (residues)")
-		tops   = flag.Int("tops", 15, "top alignments per run")
-		seed   = flag.Uint64("seed", 1, "titin generator seed")
-		outP   = flag.String("out", "-", "output JSON path (- for stdout; files are written atomically)")
-		short  = flag.Bool("short", false, "small workload for CI smoke runs")
+		length   = flag.Int("len", 1200, "synthetic titin length (residues)")
+		tops     = flag.Int("tops", 15, "top alignments per run")
+		seed     = flag.Uint64("seed", 1, "titin generator seed")
+		outP     = flag.String("out", "-", "output JSON path (- for stdout; files are written atomically)")
+		short    = flag.Bool("short", false, "small workload for CI smoke runs")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering every level to this file")
+		baseline = flag.String("baseline", "", "previous benchjson output to compare against (missing file is an error)")
+
+		minSpeedupShared = flag.Float64("min-speedup-shared", 0,
+			"fail unless the best shared-memory level reaches this speedup vs sequential (0 disables)")
+		maxAllocsPerAlign = flag.Float64("max-allocs-per-align", 0,
+			"fail if a single-process level exceeds this many heap allocations per alignment (0 disables)")
 	)
 	flag.Parse()
 	if *short {
 		*length, *tops = 300, 6
+	}
+
+	stopProf := func() {}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// Stopped explicitly before any exit path: fatal uses os.Exit,
+		// which would skip a defer and truncate the profile.
+		stopProf = func() {
+			pprof.StopCPUProfile()
+			f.Close() //nolint:errcheck
+		}
 	}
 
 	q := seq.SyntheticTitin(*length, *seed)
@@ -93,6 +138,12 @@ func main() {
 		{Level{Name: "shared-memory", Workers: workers}, func(cfg topalign.Config) (*topalign.Result, error) {
 			return parallel.Find(q.Codes, cfg, parallel.Config{Workers: workers, Speculative: true})
 		}},
+		{Level{Name: "shared-memory-group", Workers: workers, Lanes: 8}, func(cfg topalign.Config) (*topalign.Result, error) {
+			// The composed configuration: every worker realigns 8-lane
+			// groups, so kernel throughput and thread parallelism stack.
+			cfg.GroupLanes = 8
+			return parallel.Find(q.Codes, cfg, parallel.Config{Workers: workers, Speculative: true})
+		}},
 		{Level{Name: "cluster", Workers: 4, Slaves: 2}, func(cfg topalign.Config) (*topalign.Result, error) {
 			return cluster.RunLocal(q.Codes,
 				cluster.Config{Top: cfg, Speculative: true},
@@ -108,14 +159,29 @@ func main() {
 		GOMAXPROCS: workers,
 		GoVersion:  runtime.Version(),
 	}
+	base2wall := map[string]float64{}
+	if *baseline != "" {
+		prev, err := loadBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		out.Baseline = *baseline
+		for _, lv := range prev.Levels {
+			base2wall[lv.Name] = lv.WallSeconds
+		}
+	}
+
 	var seqWall float64
 	var seqAlignments int64
+	var ms0, ms1 runtime.MemStats
 	for _, r := range runners {
 		cfg := base
 		cfg.Counters = &stats.Counters{}
+		runtime.ReadMemStats(&ms0)
 		t0 := time.Now()
 		res, err := r.run(cfg)
 		wall := time.Since(t0).Seconds()
+		runtime.ReadMemStats(&ms1)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", r.level.Name, err))
 		}
@@ -128,33 +194,93 @@ func main() {
 		lv.Alignments = snap.Alignments
 		lv.Tracebacks = snap.Tracebacks
 		lv.MeanAlignNS = int64(snap.AlignLatency.Mean())
+		lv.Mallocs = int64(ms1.Mallocs - ms0.Mallocs)
+		if snap.Alignments > 0 {
+			lv.AllocsPerAlign = float64(lv.Mallocs) / float64(snap.Alignments)
+		}
 		if lv.Name == "sequential" {
 			seqWall, seqAlignments = wall, snap.Alignments
 		}
 		if seqWall > 0 {
 			lv.Speedup = seqWall / wall
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: %-13s %6.2fs  %8.0f kcells/s  %d alignments\n",
-			lv.Name, wall, lv.CellsPerSec/1e3, lv.Alignments)
+		if bw, ok := base2wall[lv.Name]; ok && wall > 0 {
+			lv.BaselineWallS = bw
+			lv.WallVsBaseline = bw / wall
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-19s %6.2fs  %8.0f kcells/s  %5d alignments  %6.1f allocs/align\n",
+			lv.Name, wall, lv.CellsPerSec/1e3, lv.Alignments, lv.AllocsPerAlign)
 		out.Levels = append(out.Levels, lv)
 		if lv.Name == "shared-memory" && seqAlignments > 0 {
 			out.SpeculationOverhead = float64(lv.Alignments-seqAlignments) / float64(seqAlignments)
 		}
 	}
 
+	stopProf()
+	if err := assertBudgets(out, *minSpeedupShared, *maxAllocsPerAlign); err != nil {
+		// Still write the document so CI can upload it for inspection.
+		writeDoc(out, *outP)
+		fatal(err)
+	}
+	writeDoc(out, *outP)
+}
+
+// assertBudgets enforces the CI perf gates: the best shared-memory
+// level's speedup vs sequential, and a heap-allocation budget per
+// alignment on the single-process levels (the cluster level is exempt:
+// its message codecs allocate by design).
+func assertBudgets(out Output, minSpeedup, maxAllocs float64) error {
+	if minSpeedup > 0 {
+		best := 0.0
+		for _, lv := range out.Levels {
+			if (lv.Name == "shared-memory" || lv.Name == "shared-memory-group") && lv.Speedup > best {
+				best = lv.Speedup
+			}
+		}
+		if best < minSpeedup {
+			return fmt.Errorf("shared-memory speedup %.2fx below required %.2fx", best, minSpeedup)
+		}
+	}
+	if maxAllocs > 0 {
+		for _, lv := range out.Levels {
+			if lv.Name == "cluster" {
+				continue
+			}
+			if lv.AllocsPerAlign > maxAllocs {
+				return fmt.Errorf("%s: %.1f allocs/alignment exceeds budget %.1f",
+					lv.Name, lv.AllocsPerAlign, maxAllocs)
+			}
+		}
+	}
+	return nil
+}
+
+func loadBaseline(path string) (Output, error) {
+	var prev Output
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return prev, fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(b, &prev); err != nil {
+		return prev, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return prev, nil
+}
+
+func writeDoc(out Output, path string) {
 	doc, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	doc = append(doc, '\n')
-	if *outP == "-" {
+	if path == "-" {
 		os.Stdout.Write(doc) //nolint:errcheck
 		return
 	}
-	if err := atomicfile.WriteFile(*outP, doc, 0o644); err != nil {
+	if err := atomicfile.WriteFile(path, doc, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *outP)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", path)
 }
 
 func fatal(err error) {

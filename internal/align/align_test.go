@@ -1,6 +1,7 @@
 package align
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/scoring"
@@ -301,6 +302,19 @@ func TestStripedBoundaryWidths(t *testing.T) {
 func TestCells(t *testing.T) {
 	if Cells(100, 200) != 20000 {
 		t.Errorf("Cells(100,200) = %d", Cells(100, 200))
+	}
+	for _, c := range [][2]int{{0, 5}, {5, 0}, {-3, 7}, {7, -3}, {-1, -1}} {
+		if got := Cells(c[0], c[1]); got != 0 {
+			t.Errorf("Cells(%d,%d) = %d, want 0", c[0], c[1], got)
+		}
+	}
+	// The product saturates instead of wrapping negative.
+	huge := int(math.MaxInt64 / 2)
+	if got := Cells(huge, huge); got != math.MaxInt64 {
+		t.Errorf("Cells(huge,huge) = %d, want MaxInt64", got)
+	}
+	if got := Cells(math.MaxInt64, 2); got != math.MaxInt64 {
+		t.Errorf("Cells(MaxInt64,2) = %d, want MaxInt64", got)
 	}
 }
 

@@ -1,0 +1,71 @@
+package align
+
+import (
+	"testing"
+
+	"repro/internal/scoring"
+	"repro/internal/seq"
+	"repro/internal/triangle"
+)
+
+// The scratch-based score kernels must be allocation-free once warm:
+// every buffer comes from the Scratch arena, which grows monotonically
+// and is reset, never reallocated, on reuse. This is the PR's hot-path
+// contract (DESIGN.md section 10); a regression here silently reopens
+// the per-alignment make traffic the arena removed.
+func TestScoreKernelsZeroAllocsWarm(t *testing.T) {
+	p := Params{Exch: scoring.BLOSUM62, Gap: scoring.DefaultProteinGap}
+	full := seq.SyntheticTitin(300, 2)
+	m := full.Len()
+	r := m / 3
+	s1, s2 := full.Codes[:r], full.Codes[r:]
+	tri := triangle.New(m)
+	for _, pr := range [][2]int{{10, 120}, {10, 121}, {40, 250}, {r - 1, r + 5}} {
+		tri.Set(pr[0], pr[1])
+	}
+
+	sc := NewScratch()
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"Score", func() { sc.Score(p, s1, s2) }},
+		{"ScoreMasked", func() { sc.ScoreMasked(p, s1, s2, tri, r) }},
+		{"ScoreStriped", func() { sc.ScoreStriped(p, s1, s2, tri, r, 64) }},
+	}
+	for _, c := range cases {
+		c.f() // warm the arena
+		if allocs := testing.AllocsPerRun(50, c.f); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op on warm scratch, want 0", c.name, allocs)
+		}
+	}
+}
+
+// The traceback path reuses the Scratch full-matrix arena and pair
+// accumulator; on a warm scratch a same-size traceback should stay
+// within a couple of allocations (the returned Alignment itself).
+func TestTracebackLowAllocsWarm(t *testing.T) {
+	p := Params{Exch: scoring.BLOSUM62, Gap: scoring.DefaultProteinGap}
+	full := seq.SyntheticTitin(200, 5)
+	r := full.Len() / 2
+	s1, s2 := full.Codes[:r], full.Codes[r:]
+
+	sc := NewScratch()
+	run := func() {
+		mtx := sc.Matrix(p, s1, s2, nil, r)
+		endX, _, _ := BestValidEnd(mtx[len(s1)][1:], nil)
+		if endX == 0 {
+			t.Fatal("no alignment end found")
+		}
+		if _, err := sc.Traceback(p, mtx, s1, s2, nil, r, endX); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	// The Alignment struct and its retained Pairs copy are returned to
+	// the caller, so they are necessarily fresh allocations; everything
+	// else must come from the arena.
+	if allocs := testing.AllocsPerRun(20, run); allocs > 3 {
+		t.Errorf("traceback: %.1f allocs/op on warm scratch, want <= 3", allocs)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/scoring"
 	"repro/internal/seq"
+	"repro/internal/triangle"
 )
 
 // Property: every bottom-row value is non-negative and bounded by the
@@ -122,6 +123,62 @@ func TestTracebackScoreProperty(t *testing.T) {
 		return al.Score == score
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the masked kernels agree with the naive recurrence when the
+// override triangle touches the matrix borders — pairs in the first
+// matrix row (y=1) and first column (x=1), where overriding zeros
+// interact with the recurrence's implicit zero borders, and at the
+// extreme splits r=1 (one-row matrix) and r=m-1 (one-column matrix).
+func TestMaskedMatchesNaiveBorderProperty(t *testing.T) {
+	p := Params{Exch: scoring.BLOSUM62, Gap: scoring.DefaultProteinGap}
+	f := func(seed uint64, a uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		m := 4 + int(a)%44
+		s := randCodes(rng, m)
+		splits := []int{1, 2, m - 1, 1 + rng.IntN(m-1)}
+		for _, split := range splits {
+			tri := triangle.New(m)
+			s1, s2 := s[:split], s[split:]
+			// Border-biased mask: pairs in matrix row y=1, in matrix
+			// column x=1, the corner, plus a few interior pairs.
+			for k := 0; k < 4; k++ {
+				x := 1 + rng.IntN(m-split) // pair (1, split+x): row 1
+				tri.Set(1, split+x)
+				if y := 1 + rng.IntN(split); y <= split { // pair (y, split+1): column 1
+					tri.Set(y, split+1)
+				}
+			}
+			tri.Set(1, split+1) // the corner cell
+			for k := 0; k < 3; k++ {
+				i := 1 + rng.IntN(m-1)
+				j := i + 1 + rng.IntN(m-i)
+				tri.Set(i, j)
+			}
+			want := ScoreNaive(p, s1, s2, tri, split)
+			var sc Scratch
+			for name, got := range map[string][]int32{
+				"masked":  ScoreMasked(p, s1, s2, tri, split),
+				"scratch": sc.ScoreMasked(p, s1, s2, tri, split),
+				"striped": ScoreStriped(p, s1, s2, tri, split, 32),
+			} {
+				if len(got) != len(want) {
+					t.Logf("seed %d m %d split %d: %s row length %d, want %d", seed, m, split, name, len(got), len(want))
+					return false
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Logf("seed %d m %d split %d: %s[%d] = %d, want %d", seed, m, split, name, i, got[i], want[i])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,6 +1,8 @@
 package align
 
 import (
+	"math"
+
 	"repro/internal/triangle"
 )
 
@@ -10,8 +12,11 @@ import (
 //
 // Per the bottom-row sufficiency argument of Appendix A, the top-alignment
 // search only ever needs this row: its maximum is the split's score.
+//
+// Hot paths should reuse a Scratch ((*Scratch).Score and friends): the
+// package-level functions allocate fresh buffers on every call.
 func Score(p Params, s1, s2 []byte) []int32 {
-	return score(p, s1, s2, nil, 0)
+	return new(Scratch).score(p, s1, s2, nil, 0)
 }
 
 // ScoreMasked is Score with override masking: cells whose global residue
@@ -19,23 +24,28 @@ func Score(p Params, s1, s2 []byte) []int32 {
 // "overriding zeros"), where r is the split position of this matrix.
 func ScoreMasked(p Params, s1, s2 []byte, tri *triangle.Triangle, r int) []int32 {
 	if tri == nil {
-		return score(p, s1, s2, nil, 0)
+		return new(Scratch).score(p, s1, s2, nil, 0)
 	}
-	return score(p, s1, s2, tri, r)
+	return new(Scratch).score(p, s1, s2, tri, r)
 }
 
-// score is the shared kernel. tri == nil disables masking.
-func score(p Params, s1, s2 []byte, tri *triangle.Triangle, r int) []int32 {
+// score is the shared kernel. tri == nil disables masking. All working
+// memory comes from the receiver; the returned bottom row is arena-owned.
+func (sc *Scratch) score(p Params, s1, s2 []byte, tri *triangle.Triangle, r int) []int32 {
 	len1, len2 := len(s1), len(s2)
-	bottom := make([]int32, len2)
+	bottom := growI32(&sc.bottom, len2)
 	if len1 == 0 || len2 == 0 {
+		for i := range bottom {
+			bottom[i] = 0
+		}
 		return bottom
 	}
 
-	prev := make([]int32, len2+1) // M[y-1][*]
-	cur := make([]int32, len2+1)  // M[y][*]
-	maxY := make([]int32, len2+1) // column gap running maxima
-	for i := range maxY {
+	prev := growI32(&sc.prev, len2+1) // M[y-1][*]
+	cur := growI32(&sc.cur, len2+1)   // M[y][*]
+	maxY := growI32(&sc.maxY, len2+1) // column gap running maxima
+	for i := range prev {
+		prev[i] = 0
 		maxY[i] = negInf
 	}
 	open, ext := p.Gap.Open, p.Gap.Ext
@@ -113,13 +123,22 @@ func score(p Params, s1, s2 []byte, tri *triangle.Triangle, r int) []int32 {
 		}
 		prev, cur = cur, prev
 	}
+	sc.prev, sc.cur = prev, cur // keep the swap so reuse stays coherent
 	copy(bottom, prev[1:])
 	return bottom
 }
 
 // Cells returns the number of matrix entries a score computation over
 // these operand lengths touches (used by the instrumentation and the
-// discrete-event cost model).
+// discrete-event cost model). Non-positive operand lengths contribute no
+// cells, so malformed inputs cannot produce a negative count, and the
+// product saturates at MaxInt64 rather than wrapping for absurd lengths.
 func Cells(len1, len2 int) int64 {
+	if len1 <= 0 || len2 <= 0 {
+		return 0
+	}
+	if int64(len1) > math.MaxInt64/int64(len2) {
+		return math.MaxInt64
+	}
 	return int64(len1) * int64(len2)
 }

@@ -18,17 +18,28 @@ const DefaultStripeWidth = 2048
 //
 // width <= 0 selects DefaultStripeWidth. tri may be nil.
 func ScoreStriped(p Params, s1, s2 []byte, tri *triangle.Triangle, r, width int) []int32 {
+	return new(Scratch).ScoreStriped(p, s1, s2, tri, r, width)
+}
+
+// ScoreStriped is the scratch-based variant of the package-level
+// ScoreStriped: the returned row is arena-owned and valid until the next
+// call on sc.
+func (sc *Scratch) ScoreStriped(p Params, s1, s2 []byte, tri *triangle.Triangle, r, width int) []int32 {
 	if width <= 0 {
 		width = DefaultStripeWidth
 	}
 	len1, len2 := len(s1), len(s2)
-	bottom := make([]int32, len2)
 	if len1 == 0 || len2 == 0 {
+		bottom := growI32(&sc.bottom, len2)
+		for i := range bottom {
+			bottom[i] = 0
+		}
 		return bottom
 	}
 	if len2 <= width {
-		return score(p, s1, s2, tri, r)
+		return sc.score(p, s1, s2, tri, r)
 	}
+	bottom := growI32(&sc.bottom, len2)
 
 	open, ext := p.Gap.Open, p.Gap.Ext
 
@@ -36,15 +47,16 @@ func ScoreStriped(p Params, s1, s2 []byte, tri *triangle.Triangle, r, width int)
 	//   edgeM[y]    = M[y][x0-1], the column just left of the next stripe
 	//   edgeMaxX[y] = the horizontal running maximum after processing
 	//                 column x0-1 of row y
-	edgeM := make([]int32, len1+1)
-	edgeMaxX := make([]int32, len1+1)
-	for y := range edgeMaxX {
+	edgeM := growI32(&sc.edgeM, len1+1)
+	edgeMaxX := growI32(&sc.edgeMaxX, len1+1)
+	for y := range edgeM {
+		edgeM[y] = 0
 		edgeMaxX[y] = negInf
 	}
 
-	prev := make([]int32, width+1)
-	cur := make([]int32, width+1)
-	maxY := make([]int32, width+1)
+	prev := growI32(&sc.prev, width+1)
+	cur := growI32(&sc.cur, width+1)
+	maxY := growI32(&sc.maxY, width+1)
 
 	for x0 := 1; x0 <= len2; x0 += width {
 		x1 := x0 + width - 1
@@ -109,5 +121,6 @@ func ScoreStriped(p Params, s1, s2 []byte, tri *triangle.Triangle, r, width int)
 		}
 		copy(bottom[x0-1:x1], prev[1:w+1])
 	}
+	sc.prev, sc.cur = prev, cur
 	return bottom
 }

@@ -12,16 +12,37 @@ import (
 // accepted top alignments — score-only paths use the linear-memory
 // kernels. tri may be nil.
 func Matrix(p Params, s1, s2 []byte, tri *triangle.Triangle, r int) [][]int32 {
+	return new(Scratch).Matrix(p, s1, s2, tri, r)
+}
+
+// Matrix is the scratch-based variant of the package-level Matrix: the
+// returned matrix is arena-owned and valid until the next call on sc.
+func (sc *Scratch) Matrix(p Params, s1, s2 []byte, tri *triangle.Triangle, r int) [][]int32 {
 	len1, len2 := len(s1), len(s2)
-	m := make([][]int32, len1+1)
-	flat := make([]int32, (len1+1)*(len2+1))
+	if cap(sc.rows) < len1+1 {
+		sc.rows = make([][]int32, len1+1)
+	}
+	m := sc.rows[:len1+1]
+	if cap(sc.flat) < (len1+1)*(len2+1) {
+		sc.flat = make([]int32, (len1+1)*(len2+1))
+	}
+	flat := sc.flat[:(len1+1)*(len2+1)]
 	for y := range m {
 		m[y] = flat[y*(len2+1) : (y+1)*(len2+1)]
+		m[y][0] = 0 // zero boundary column (arena may hold stale values)
+	}
+	for x := range m[0] {
+		m[0][x] = 0 // zero boundary row
 	}
 	if len1 == 0 || len2 == 0 {
+		for y := range m {
+			for x := range m[y] {
+				m[y][x] = 0
+			}
+		}
 		return m
 	}
-	maxY := make([]int32, len2+1)
+	maxY := growI32(&sc.maxY, len2+1)
 	for i := range maxY {
 		maxY[i] = negInf
 	}
@@ -77,6 +98,14 @@ func Matrix(p Params, s1, s2 []byte, tri *triangle.Triangle, r int) [][]int32 {
 // first, then horizontal gaps by increasing length, then vertical gaps —
 // a deterministic tie order, so equal-scoring reconstructions are stable.
 func Traceback(p Params, m [][]int32, s1, s2 []byte, tri *triangle.Triangle, r, endX int) (Alignment, error) {
+	return new(Scratch).Traceback(p, m, s1, s2, tri, r, endX)
+}
+
+// Traceback is the scratch-based variant of the package-level Traceback.
+// The returned Alignment's pair slice is freshly allocated (it outlives
+// the call as part of a TopAlignment); only the path accumulator is
+// arena-reused.
+func (sc *Scratch) Traceback(p Params, m [][]int32, s1, s2 []byte, tri *triangle.Triangle, r, endX int) (Alignment, error) {
 	len1 := len(s1)
 	if len1 == 0 || endX < 1 || endX > len(s2) {
 		return Alignment{}, fmt.Errorf("align: traceback end column %d out of range", endX)
@@ -87,7 +116,7 @@ func Traceback(p Params, m [][]int32, s1, s2 []byte, tri *triangle.Triangle, r, 
 		return Alignment{}, fmt.Errorf("align: traceback from non-positive cell (%d,%d)=%d", y, x, score)
 	}
 	open, ext := p.Gap.Open, p.Gap.Ext
-	var rev []Pair
+	rev := sc.rev[:0]
 	for {
 		v := m[y][x]
 		rev = append(rev, Pair{Y: y, X: x})
@@ -134,6 +163,7 @@ func Traceback(p Params, m [][]int32, s1, s2 []byte, tri *triangle.Triangle, r, 
 			return Alignment{}, fmt.Errorf("align: no predecessor found at (%d,%d)=%d", y, x, v)
 		}
 	}
+	sc.rev = rev // keep the grown accumulator for reuse
 	// reverse into path order
 	pairs := make([]Pair, len(rev))
 	for i, pr := range rev {

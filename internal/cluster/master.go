@@ -325,13 +325,19 @@ func (m *master) handleResult(from int, res msgResult) error {
 	// The alignments ran on the slave; account for them here so cluster
 	// runs report the same statistics as the local engines.
 	mlen := m.e.Len()
+	members := 0
 	for i := range res.Scores {
 		r := R + i
 		if r > mlen-1 {
 			break
 		}
+		members++
 		m.e.Config().Counters.AddAlignment(int64(r)*int64(mlen-r), !res.First)
 	}
+	// Fold the slave-side kernel time into the align_ns histogram,
+	// attributed per member, so cluster runs report a per-alignment
+	// latency instead of the zero it used to show.
+	m.e.Config().Counters.ObserveAlignLatencyPer(time.Duration(res.AlignNS), members)
 	if m.e.Config().GroupLanes > 1 {
 		t.MemberScores = res.Scores
 	}

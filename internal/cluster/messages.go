@@ -51,11 +51,15 @@ type msgJob struct {
 // msgResult reports a completed task. Version is the replica version the
 // scores are exact for (0 for first alignments). Scores has one entry in
 // scalar mode, Lanes entries in group mode. Rows is non-nil only for
-// first alignments: the original bottom row per member.
+// first alignments: the original bottom row per member. AlignNS is the
+// slave-side kernel wall time (excluding row fetches) for the whole
+// task; the master attributes it across the task's members so the
+// engine's align_ns histogram stays per-alignment.
 type msgResult struct {
 	R       int32
 	Version int32
 	First   bool
+	AlignNS int64
 	Scores  []int32
 	Rows    [][]int32
 }
@@ -194,6 +198,8 @@ func (m msgResult) encode() []byte {
 	b := appendU32(nil, uint32(m.R))
 	b = appendU32(b, uint32(m.Version))
 	b = appendBool(b, m.First)
+	b = appendU32(b, uint32(uint64(m.AlignNS)))
+	b = appendU32(b, uint32(uint64(m.AlignNS)>>32))
 	b = appendI32s(b, m.Scores)
 	b = appendU32(b, uint32(len(m.Rows)))
 	for _, row := range m.Rows {
@@ -204,7 +210,10 @@ func (m msgResult) encode() []byte {
 
 func decodeResult(b []byte) (msgResult, error) {
 	r := &reader{b: b}
-	m := msgResult{R: r.i32(), Version: r.i32(), First: r.bool(), Scores: r.i32s()}
+	m := msgResult{R: r.i32(), Version: r.i32(), First: r.bool()}
+	lo, hi := r.u32(), r.u32()
+	m.AlignNS = int64(uint64(lo) | uint64(hi)<<32)
+	m.Scores = r.i32s()
 	n := int(r.u32())
 	if r.err == nil && n > 0 {
 		if n > len(b) { // cheap sanity bound

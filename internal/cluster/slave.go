@@ -150,8 +150,11 @@ func (sl *slave) run(threads int) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker thread owns its kernel scratch, so a warm
+			// slave aligns without per-job allocation.
+			sc := &workScratch{}
 			for job := range sl.jobs {
-				if err := sl.work(job); err != nil {
+				if err := sl.work(job, sc); err != nil {
 					errCh <- err
 					return
 				}
@@ -303,11 +306,18 @@ wait:
 	return row, nil
 }
 
+// workScratch bundles the kernel arenas one slave worker thread owns.
+type workScratch struct {
+	a align.Scratch
+	g multialign.Scratch
+}
+
 // work executes one job and reports the result. Job latency (kernel
-// plus any row fetch) lands in the per-rank cluster/job_ns histogram,
-// since the engine's align_ns histogram lives on the master and never
-// sees slave-side kernel time.
-func (sl *slave) work(job msgJob) error {
+// plus any row fetch) lands in the per-rank cluster/job_ns histogram;
+// the pure kernel time additionally travels back in the result's
+// AlignNS so the master can fold it into the engine's per-alignment
+// align_ns histogram.
+func (sl *slave) work(job msgJob, sc *workScratch) error {
 	rank := sl.comm.Rank()
 	sl.reg.Counter(fmt.Sprintf("cluster/jobs_done/rank%d", rank)).Inc()
 	if sl.reg != nil {
@@ -333,23 +343,25 @@ func (sl *slave) work(job msgJob) error {
 	}
 
 	if sl.lanes > 1 {
-		if err := sl.workGroup(r0, members, tri, &res); err != nil {
+		if err := sl.workGroup(r0, members, tri, &res, sc); err != nil {
 			return err
 		}
 	} else {
-		if err := sl.workScalar(r0, tri, &res); err != nil {
+		if err := sl.workScalar(r0, tri, &res, sc); err != nil {
 			return err
 		}
 	}
 	return sl.comm.Send(0, tagResult, res.encode())
 }
 
-func (sl *slave) workScalar(r int, tri *triangle.Triangle, res *msgResult) error {
+func (sl *slave) workScalar(r int, tri *triangle.Triangle, res *msgResult, sc *workScratch) error {
 	s1, s2 := sl.s[:r], sl.s[r:]
-	row := sl.score(s1, s2, tri, r)
+	t0 := time.Now()
+	row := sl.score(s1, s2, tri, r, sc)
+	res.AlignNS += time.Since(t0).Nanoseconds()
 	if res.First {
-		sl.rows.Put(r, row)
-		res.Rows[0] = row
+		sl.rows.Put(r, row) // Put copies; row is scratch-owned
+		res.Rows[0] = row   // encoded before the scratch is reused
 		_, res.Scores[0], _ = align.BestValidEnd(row, nil)
 		return nil
 	}
@@ -361,17 +373,23 @@ func (sl *slave) workScalar(r int, tri *triangle.Triangle, res *msgResult) error
 	return nil
 }
 
-func (sl *slave) workGroup(r0, members int, tri *triangle.Triangle, res *msgResult) error {
-	g, err := multialign.ScoreGroupAuto(sl.params, sl.s, r0, sl.lanes, tri)
+func (sl *slave) workGroup(r0, members int, tri *triangle.Triangle, res *msgResult, sc *workScratch) error {
+	t0 := time.Now()
+	g, err := sc.g.ScoreGroupAuto(sl.params, sl.s, r0, sl.lanes, tri)
+	res.AlignNS += time.Since(t0).Nanoseconds()
 	if err != nil {
 		// scalar fallback per member
 		for i := 0; i < members; i++ {
 			r := r0 + i
 			s1, s2 := sl.s[:r], sl.s[r:]
-			row := sl.score(s1, s2, tri, r)
+			t0 := time.Now()
+			row := sl.score(s1, s2, tri, r, sc)
+			res.AlignNS += time.Since(t0).Nanoseconds()
 			if res.First {
 				sl.rows.Put(r, row)
-				res.Rows[i] = row
+				// copy: the next member's kernel call reuses the arena
+				// this row points into
+				res.Rows[i] = append([]int32(nil), row...)
 				_, res.Scores[i], _ = align.BestValidEnd(row, nil)
 				continue
 			}
@@ -387,8 +405,8 @@ func (sl *slave) workGroup(r0, members int, tri *triangle.Triangle, res *msgResu
 		r := r0 + i
 		row := g.Bottoms[i]
 		if res.First {
-			sl.rows.Put(r, row)
-			res.Rows[i] = row
+			sl.rows.Put(r, row) // Put copies; row is scratch-owned
+			res.Rows[i] = row   // encoded before the scratch is reused
 			_, res.Scores[i], _ = align.BestValidEnd(row, nil)
 			continue
 		}
@@ -401,10 +419,11 @@ func (sl *slave) workGroup(r0, members int, tri *triangle.Triangle, res *msgResu
 	return nil
 }
 
-// score dispatches to the configured scalar kernel.
-func (sl *slave) score(s1, s2 []byte, tri *triangle.Triangle, r int) []int32 {
+// score dispatches to the configured scalar kernel, using the worker's
+// scratch. The returned row is scratch-owned.
+func (sl *slave) score(s1, s2 []byte, tri *triangle.Triangle, r int, sc *workScratch) []int32 {
 	if sl.striped {
-		return align.ScoreStriped(sl.params, s1, s2, tri, r, 0)
+		return sc.a.ScoreStriped(sl.params, s1, s2, tri, r, 0)
 	}
-	return align.ScoreMasked(sl.params, s1, s2, tri, r)
+	return sc.a.ScoreMasked(sl.params, s1, s2, tri, r)
 }

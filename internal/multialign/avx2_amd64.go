@@ -1,0 +1,172 @@
+//go:build amd64
+
+package multialign
+
+import (
+	"os"
+
+	"repro/internal/align"
+	"repro/internal/triangle"
+)
+
+// cpuid and xgetbv are implemented in avx2_amd64.s.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// rowAVX8 (avx2_amd64.s) advances one matrix row over n clean columns of
+// the 8-lane interleaved Gotoh recurrence: for each column it computes
+// v = clamp0(max(d, mx, maxY) + e), stores it, and updates the running
+// gap maxima mx and maxY. prev points at the lane block of the column
+// before the segment's first, cur and maxY at the segment's first
+// column, ex at its exchange value. mx is the 8-lane horizontal-gap
+// running maximum, carried in and out.
+//
+//go:noescape
+func rowAVX8(prev, cur, maxY, ex *int32, n int, open, ext int32, mx *int32)
+
+// hasAVX2 gates the vector kernel. REPRO_NO_AVX2 forces the pure-Go ILP
+// path, for differential testing and for benchmarking the fallback.
+var hasAVX2 = detectAVX2() && os.Getenv("REPRO_NO_AVX2") == ""
+
+// detectAVX2 performs the standard three-step check: AVX + OSXSAVE in
+// CPUID.1:ECX, XMM+YMM state enabled in XCR0, AVX2 in CPUID.7.0:EBX.
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const osxsaveAndAVX = 1<<27 | 1<<28
+	if c&osxsaveAndAVX != osxsaveAndAVX {
+		return false
+	}
+	if lo, _ := xgetbv(); lo&6 != 6 {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<5) != 0
+}
+
+// avx8 is the 8-lane AVX2 kernel body: exact int32 lanes, 8 per ymm
+// register, interleaved per column as in Figure 7. The assembly row
+// kernel handles clean column runs; Go handles the left-border prologue
+// (columns 1..7, where not-yet-started lanes are forced to zero) and
+// overridden columns, which are found with triangle.NextSet so masked
+// rows still run mostly in assembly. bots as in ilp4.
+func (sc *Scratch) avx8(p align.Params, s []byte, r0 int, tri *triangle.Triangle, bots [][]int32) {
+	m := len(s)
+	n := m - r0 // column c is global position j = r0+c
+
+	prev := growI32(&sc.prev, 8*(n+1))
+	cur := growI32(&sc.cur, 8*(n+1))
+	maxY := growI32(&sc.maxY, 8*(n+1))
+	for i := range prev {
+		prev[i] = 0 // zero boundary row (arena may hold stale values)
+		maxY[i] = negInf
+	}
+	for i := 0; i < 8; i++ {
+		cur[i] = 0 // becomes the boundary column block after the swap
+	}
+
+	// Query profile (Farrar-style): prof[a][c] = Score(a, s[r0+c-1]),
+	// built lazily for the distinct residues of s[:yMax] so each row is
+	// one slice lookup instead of n exchange lookups.
+	maxCode := 0
+	for _, b := range s {
+		if int(b) > maxCode {
+			maxCode = int(b)
+		}
+	}
+	alpha := maxCode + 1
+	prof := growI32(&sc.prof, alpha*(n+1))
+	built := growBool(&sc.profBuilt, alpha)
+	for i := range built {
+		built[i] = false
+	}
+	suf := s[r0:]
+
+	open, ext := p.Gap.Open, p.Gap.Ext
+	yMax := r0 + 7
+	if yMax > m-1 {
+		yMax = m - 1
+	}
+	var mx [8]int32
+	for y := 1; y <= yMax; y++ {
+		ch := s[y-1]
+		ex := prof[int(ch)*(n+1) : (int(ch)+1)*(n+1)]
+		if !built[ch] {
+			built[ch] = true
+			row := p.Exch.Row(ch)
+			for c := 1; c <= n; c++ {
+				ex[c] = int32(row[suf[c-1]])
+			}
+		}
+		for i := range mx {
+			mx[i] = negInf
+		}
+		base := 0
+		masked := false
+		if tri != nil {
+			base = tri.RowOffset(y) + r0 - y
+			masked = !tri.RowEmpty(base, n)
+		}
+		// Left-border prologue: lane k's matrix starts at column k+1, so
+		// at columns 1..7 lanes k >= c are forced to zero.
+		pro := 7
+		if n < pro {
+			pro = n
+		}
+		for c := 1; c <= pro; c++ {
+			over := masked && tri.GetAt(base+c-1)
+			col8(prev, cur, maxY, &mx, c, ex[c], open, ext, over, c)
+		}
+		// Main loop: clean runs in assembly, overridden columns in Go.
+		c := pro + 1
+		for c <= n {
+			stop := n + 1 // first overridden column at or after c
+			if masked {
+				if idx := tri.NextSet(base+c-1, base+n); idx >= 0 {
+					stop = idx - base + 1
+				}
+			}
+			if seg := stop - c; seg > 0 {
+				rowAVX8(&prev[8*(c-1)], &cur[8*c], &maxY[8*c], &ex[c], seg, open, ext, &mx[0])
+				c = stop
+			}
+			if c <= n {
+				col8(prev, cur, maxY, &mx, c, ex[c], open, ext, true, 8)
+				c++
+			}
+		}
+		// capture the bottom row of the lane whose matrix ends here
+		if k := y - r0; k >= 0 && k < 8 && k < len(bots) && bots[k] != nil {
+			bottom := bots[k]
+			for c := k + 1; c <= n; c++ {
+				bottom[c-k-1] = cur[8*c+k]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	sc.prev, sc.cur = prev, cur
+}
+
+// col8 is the Go fallback for one column of the 8-lane recurrence:
+// left-border prologue columns (zeroFrom < 8 zeroes lanes k >= zeroFrom)
+// and overridden columns (over forces all lane values to zero while the
+// gap maxima still advance, matching the scalar masked kernel).
+func col8(prev, cur, maxY []int32, mx *[8]int32, c int, e, open, ext int32, over bool, zeroFrom int) {
+	o := 8 * c
+	d := prev[o-8 : o : o]
+	my := maxY[o : o+8 : o+8]
+	cc := cur[o : o+8 : o+8]
+	for k := 0; k < 8; k++ {
+		var v int32
+		if !over && k < zeroFrom {
+			v = cellFast(d[k], mx[k], my[k], e)
+		}
+		cc[k] = v
+		g := d[k] - open
+		mx[k] = maxG(g, mx[k]) - ext
+		my[k] = maxG(g, my[k]) - ext
+	}
+}

@@ -1,0 +1,78 @@
+#include "textflag.h"
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func rowAVX8(prev, cur, maxY, ex *int32, n int, open, ext int32, mx *int32)
+//
+// One matrix row over n columns of the 8-lane interleaved Gotoh
+// recurrence, 8 exact int32 lanes per ymm register (Figure 7 layout,
+// 32-byte column stride). Per column c:
+//
+//	d    = prev block of column c-1        (diagonal predecessors)
+//	v    = max(0, max(d, mx, maxY[c]) + e) (Figure 3 cell)
+//	cur[c]  = v
+//	g    = d - open
+//	mx      = max(g, mx) - ext             (horizontal gap chain)
+//	maxY[c] = max(g, maxY[c]) - ext        (vertical gap chains)
+//
+// The caller guarantees the segment contains no overridden or
+// left-border columns, so the loop is branch-free.
+TEXT ·rowAVX8(SB), NOSPLIT, $0-56
+	MOVQ prev+0(FP), SI
+	MOVQ cur+8(FP), DI
+	MOVQ maxY+16(FP), BX
+	MOVQ ex+24(FP), DX
+	MOVQ n+32(FP), CX
+	MOVQ mx+48(FP), AX
+
+	MOVL         open+40(FP), R8
+	MOVQ         R8, X5
+	VPBROADCASTD X5, Y5 // gap-open penalty in all lanes
+	MOVL         ext+44(FP), R9
+	MOVQ         R9, X6
+	VPBROADCASTD X6, Y6 // gap-extension penalty in all lanes
+	VPXOR        Y7, Y7, Y7     // zero, for the clamp
+	VMOVDQU      (AX), Y4       // mx carry-in
+
+loop:
+	VMOVDQU      (SI), Y0 // d = prev column block
+	VMOVDQU      (BX), Y1 // maxY[c]
+	VPMAXSD      Y1, Y4, Y2
+	VPMAXSD      Y0, Y2, Y2 // max(d, mx, maxY)
+	VPBROADCASTD (DX), Y3   // exchange value e
+	VPADDD       Y3, Y2, Y2
+	VPMAXSD      Y7, Y2, Y2 // clamp at zero
+	VMOVDQU      Y2, (DI)   // cur[c] = v
+	VPSUBD       Y5, Y0, Y0 // g = d - open
+	VPMAXSD      Y0, Y4, Y4
+	VPSUBD       Y6, Y4, Y4 // mx = max(g, mx) - ext
+	VPMAXSD      Y0, Y1, Y1
+	VPSUBD       Y6, Y1, Y1
+	VMOVDQU      Y1, (BX)   // maxY[c] = max(g, maxY) - ext
+	ADDQ         $32, SI
+	ADDQ         $32, DI
+	ADDQ         $32, BX
+	ADDQ         $4, DX
+	DECQ         CX
+	JNZ          loop
+
+	VMOVDQU Y4, (AX) // mx carry-out
+	VZEROUPPER
+	RET

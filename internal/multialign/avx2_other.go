@@ -1,0 +1,22 @@
+//go:build !amd64
+
+package multialign
+
+import (
+	"repro/internal/align"
+	"repro/internal/triangle"
+)
+
+// hasAVX2 is always false off amd64; ScoreGroupAuto uses the ILP blocks.
+const hasAVX2 = false
+
+// avx8 is unreachable when hasAVX2 is false; fall back defensively so
+// the symbol exists on every platform.
+func (sc *Scratch) avx8(p align.Params, s []byte, r0 int, tri *triangle.Triangle, bots [][]int32) {
+	for block := 0; block < 8; block += 4 {
+		if r0+block > len(s)-1 {
+			break
+		}
+		sc.ilp4Striped(p, s, r0+block, tri, 0, bots[block:])
+	}
+}

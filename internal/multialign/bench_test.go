@@ -1,0 +1,73 @@
+package multialign
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// benchGroupCells is the lane-cell count the group kernels compute for a
+// group starting at r0: lane k covers rows 1..r0+k over n columns.
+func benchGroupCells(m, r0, lanes int) int64 {
+	var cells int64
+	for k := 0; k < lanes; k++ {
+		r := r0 + k
+		if r > m-1 {
+			break
+		}
+		cells += int64(r) * int64(m-r)
+	}
+	return cells
+}
+
+func BenchmarkScoreGroupILP(b *testing.B) {
+	for _, n := range []int{1200, 4096} {
+		s := seq.SyntheticTitin(n, 1).Codes
+		r0 := n / 2
+		b.Run(fmt.Sprintf("flat/n=%d", n), func(b *testing.B) {
+			b.SetBytes(benchGroupCells(n, r0, 4))
+			for i := 0; i < b.N; i++ {
+				ScoreGroupILP(protein, s, r0, nil)
+			}
+		})
+		b.Run(fmt.Sprintf("striped/n=%d", n), func(b *testing.B) {
+			b.SetBytes(benchGroupCells(n, r0, 4))
+			for i := 0; i < b.N; i++ {
+				ScoreGroupILPStriped(protein, s, r0, nil, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkScoreGroupAuto8(b *testing.B) {
+	for _, n := range []int{1200, 4096} {
+		s := seq.SyntheticTitin(n, 1).Codes
+		r0 := n / 2
+		sc := NewScratch()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.SetBytes(benchGroupCells(n, r0, 8))
+			for i := 0; i < b.N; i++ {
+				if _, err := sc.ScoreGroupAuto(protein, s, r0, 8, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScoreGroupSWAR(b *testing.B) {
+	for _, lanes := range []int{4, 8} {
+		n := 1200
+		s := seq.SyntheticTitin(n, 1).Codes
+		r0 := n / 2
+		b.Run(fmt.Sprintf("lanes=%d/n=%d", lanes, n), func(b *testing.B) {
+			b.SetBytes(benchGroupCells(n, r0, lanes))
+			for i := 0; i < b.N; i++ {
+				if _, err := ScoreGroup(protein, s, r0, lanes, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

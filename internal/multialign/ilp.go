@@ -1,8 +1,6 @@
 package multialign
 
 import (
-	"fmt"
-
 	"repro/internal/align"
 	"repro/internal/triangle"
 )
@@ -11,10 +9,9 @@ import (
 // 4-lane SWAR kernel, but keeps each lane in its own int32 variable
 // instead of packing lanes into one word.
 //
-// This is the variant the engine's group mode actually uses: it keeps
-// everything that makes the paper's coarse-grained SIMD scheme fast on a
-// superscalar core — the Figure 7 interleaved memory layout, one
-// exchange lookup and one override-triangle probe shared by all four
+// It keeps everything that makes the paper's coarse-grained SIMD scheme
+// fast on a superscalar core — the Figure 7 interleaved memory layout,
+// one exchange lookup and one override-triangle probe shared by all four
 // matrices, one set of loop control — while exposing four independent
 // dependency chains to the CPU's execution ports (the Gotoh recurrence
 // is latency-bound on its running maxima, so independent chains overlap
@@ -22,18 +19,30 @@ import (
 // saturation limit: scores are exact int32.
 //
 // Returns one bottom row per lane, nil for splits beyond len(s)-1.
+// Hot paths should reuse a Scratch: the package-level function allocates
+// fresh buffers on every call.
 func ScoreGroupILP(p align.Params, s []byte, r0 int, tri *triangle.Triangle) *Group {
+	return new(Scratch).ScoreGroupILP(p, s, r0, tri)
+}
+
+// ilp4 is the flat 4-lane kernel body. bots holds the destination bottom
+// rows: bots[k] receives split r0+k's row (nil lanes are skipped). All
+// working memory comes from the receiver.
+func (sc *Scratch) ilp4(p align.Params, s []byte, r0 int, tri *triangle.Triangle, bots [][]int32) {
 	m := len(s)
 	n := m - r0 // column c is global position j = r0+c
-	g := &Group{R0: r0, Bottoms: make([][]int32, 4)}
 
 	// Figure 7 layout: four interleaved lane entries per column.
-	prev := make([]int32, 4*(n+1))
-	cur := make([]int32, 4*(n+1))
-	maxY := make([]int32, 4*(n+1))
-	for i := range maxY {
+	prev := growI32(&sc.prev, 4*(n+1))
+	cur := growI32(&sc.cur, 4*(n+1))
+	maxY := growI32(&sc.maxY, 4*(n+1))
+	for i := range prev {
+		prev[i] = 0 // zero boundary row (arena may hold stale values)
 		maxY[i] = negInf
 	}
+	// cur[0..3] is never written but becomes prev[0..3] (the zero
+	// boundary column block) after the first swap.
+	cur[0], cur[1], cur[2], cur[3] = 0, 0, 0, 0
 	open, ext := p.Gap.Open, p.Gap.Ext
 
 	yMax := r0 + 3
@@ -114,16 +123,15 @@ func ScoreGroupILP(p align.Params, s []byte, r0 int, tri *triangle.Triangle) *Gr
 			my[2] = maxG(g2, my[2]) - ext
 			my[3] = maxG(g3, my[3]) - ext
 		}
-		if k := y - r0; k >= 0 && k < 4 {
-			bottom := make([]int32, m-y)
+		if k := y - r0; k >= 0 && k < 4 && k < len(bots) && bots[k] != nil {
+			bottom := bots[k]
 			for c := k + 1; c <= n; c++ {
 				bottom[c-k-1] = cur[4*c+k]
 			}
-			g.Bottoms[k] = bottom
 		}
 		prev, cur = cur, prev
 	}
-	return g
+	sc.prev, sc.cur = prev, cur // keep the swap so reuse stays coherent
 }
 
 // cellILP is one lane's Figure-3 cell update (prologue variant with
@@ -162,29 +170,11 @@ func maxG(a, b int32) int32 {
 const negInf = -(1 << 29)
 
 // ScoreGroupAuto computes bottom rows for `lanes` (4 or 8) neighbouring
-// splits starting at r0 using the exact ILP kernel, in blocks of four.
-// This is the production group kernel: identical grouping semantics to
-// the SWAR kernels, int32 exactness, no saturation fallback. The SWAR
-// kernels remain available via ScoreGroup for the Table 2 comparison.
+// splits starting at r0 using the fastest exact kernel available: the
+// AVX2 8-lane row kernel on amd64, otherwise the ILP kernel in blocks of
+// four. Identical grouping semantics to the SWAR kernels, int32
+// exactness, no saturation fallback. The SWAR kernels remain available
+// via ScoreGroup for the Table 2 comparison.
 func ScoreGroupAuto(p align.Params, s []byte, r0, lanes int, tri *triangle.Triangle) (*Group, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	m := len(s)
-	if r0 < 1 || r0 > m-1 {
-		return nil, fmt.Errorf("multialign: group start split %d out of range for length %d", r0, m)
-	}
-	if lanes != 4 && lanes != 8 {
-		return nil, fmt.Errorf("multialign: unsupported lane count %d (want 4 or 8)", lanes)
-	}
-	g := &Group{R0: r0, Bottoms: make([][]int32, lanes)}
-	for block := 0; block < lanes; block += 4 {
-		b0 := r0 + block
-		if b0 > m-1 {
-			break
-		}
-		bg := ScoreGroupILPStriped(p, s, b0, tri, 0)
-		copy(g.Bottoms[block:], bg.Bottoms)
-	}
-	return g, nil
+	return new(Scratch).ScoreGroupAuto(p, s, r0, lanes, tri)
 }

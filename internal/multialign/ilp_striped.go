@@ -18,24 +18,27 @@ const DefaultGroupStripe = 512
 // is the production configuration — the paper reports the SIMD kernel
 // gains up to 6.5x from exactly this transformation.
 //
-// width <= 0 selects DefaultGroupStripe.
+// width <= 0 selects DefaultGroupStripe. Hot paths should reuse a
+// Scratch: the package-level function allocates fresh buffers per call.
 func ScoreGroupILPStriped(p align.Params, s []byte, r0 int, tri *triangle.Triangle, width int) *Group {
+	return new(Scratch).ScoreGroupILPStriped(p, s, r0, tri, width)
+}
+
+// ilp4Striped is the striped 4-lane kernel body; bots as in ilp4.
+func (sc *Scratch) ilp4Striped(p align.Params, s []byte, r0 int, tri *triangle.Triangle, width int, bots [][]int32) {
 	if width <= 0 {
 		width = DefaultGroupStripe
 	}
 	m := len(s)
 	n := m - r0
 	if n <= width {
-		return ScoreGroupILP(p, s, r0, tri)
+		sc.ilp4(p, s, r0, tri, bots)
+		return
 	}
-	g := &Group{R0: r0, Bottoms: make([][]int32, 4)}
 
 	yMax := r0 + 3
 	if yMax > m-1 {
 		yMax = m - 1
-	}
-	for k := 0; k < 4 && r0+k <= m-1; k++ {
-		g.Bottoms[k] = make([]int32, m-r0-k)
 	}
 
 	open, ext := p.Gap.Open, p.Gap.Ext
@@ -43,15 +46,16 @@ func ScoreGroupILPStriped(p align.Params, s []byte, r0 int, tri *triangle.Triang
 	// Per-row carries between stripes, one entry per lane:
 	// edgeM[y] is M[y][c0-1], edgeMx[y] the horizontal running maxima
 	// after column c0-1 of row y.
-	edgeM := make([][4]int32, yMax+1)
-	edgeMx := make([][4]int32, yMax+1)
-	for y := range edgeMx {
+	edgeM := growEdge(&sc.edgeM, yMax+1)
+	edgeMx := growEdge(&sc.edgeMx, yMax+1)
+	for y := range edgeM {
+		edgeM[y] = [4]int32{}
 		edgeMx[y] = [4]int32{negInf, negInf, negInf, negInf}
 	}
 
-	prev := make([]int32, 4*(width+1))
-	cur := make([]int32, 4*(width+1))
-	maxY := make([]int32, 4*(width+1))
+	prev := growI32(&sc.prev, 4*(width+1))
+	cur := growI32(&sc.cur, 4*(width+1))
+	maxY := growI32(&sc.maxY, 4*(width+1))
 
 	for c0 := 1; c0 <= n; c0 += width {
 		c1 := c0 + width - 1
@@ -119,15 +123,15 @@ func ScoreGroupILPStriped(p align.Params, s []byte, r0 int, tri *triangle.Triang
 			}
 			edgeMx[y] = [4]int32{mx0, mx1, mx2, mx3}
 			// capture this stripe's slice of lane k's bottom row
-			if k := y - r0; k >= 0 && k < 4 && g.Bottoms[k] != nil {
+			if k := y - r0; k >= 0 && k < 4 && k < len(bots) && bots[k] != nil {
 				for c := maxI(c0, k+1); c <= c1; c++ {
-					g.Bottoms[k][c-k-1] = cur[4*(c-c0+1)+k]
+					bots[k][c-k-1] = cur[4*(c-c0+1)+k]
 				}
 			}
 			prev, cur = cur, prev
 		}
 	}
-	return g
+	sc.prev, sc.cur = prev, cur
 }
 
 func maxI(a, b int) int {

@@ -9,10 +9,12 @@
 // pair, so one exchange-matrix lookup serves all lanes, and the entries
 // are interleaved in memory exactly as in Figure 7 (lane i of word c is
 // matrix i's entry in column c). The lane arithmetic comes from package
-// swar, this reproduction's substitute for SSE/SSE2 (see DESIGN.md).
+// swar, this reproduction's substitute for SSE/SSE2 (see DESIGN.md);
+// on amd64 an AVX2 assembly row kernel computes eight exact int32 lanes
+// per vector register.
 //
-// Lane scores saturate at SatLimit; the kernels report saturation so the
-// caller can fall back to the scalar int32 kernel for that group.
+// SWAR lane scores saturate at SatLimit; those kernels report saturation
+// so the caller can fall back to the scalar int32 kernel for that group.
 package multialign
 
 import (
@@ -62,22 +64,10 @@ type Group struct {
 // ScoreGroup computes the bottom rows of `lanes` neighbouring splits
 // (4 or 8) starting at split r0, against override triangle tri (which
 // may be nil). s is the full sequence; split r aligns s[:r] with s[r:].
+// Hot paths should reuse a Scratch ((*Scratch).ScoreGroup): the
+// package-level function allocates fresh buffers on every call.
 func ScoreGroup(p align.Params, s []byte, r0, lanes int, tri *triangle.Triangle) (*Group, error) {
-	if err := CheckParams(p); err != nil {
-		return nil, err
-	}
-	m := len(s)
-	if r0 < 1 || r0 > m-1 {
-		return nil, fmt.Errorf("multialign: group start split %d out of range for length %d", r0, m)
-	}
-	switch lanes {
-	case 4:
-		return scoreGroup4(p, s, r0, tri), nil
-	case 8:
-		return scoreGroup8(p, s, r0, tri), nil
-	default:
-		return nil, fmt.Errorf("multialign: unsupported lane count %d (want 4 or 8)", lanes)
-	}
+	return new(Scratch).ScoreGroup(p, s, r0, lanes, tri)
 }
 
 // keepLanes returns a word keeping lanes 0..k-1 (0xFFFF) and zeroing the
@@ -92,15 +82,20 @@ func keepLanes(k int) uint64 {
 	return (uint64(1) << uint(16*k)) - 1
 }
 
-// scoreGroup4 is the 4-lane kernel (one uint64 word per column).
-func scoreGroup4(p align.Params, s []byte, r0 int, tri *triangle.Triangle) *Group {
+// swar4 is the 4-lane kernel body (one uint64 word per column). bots
+// holds the destination bottom rows; reports saturation.
+func (sc *Scratch) swar4(p align.Params, s []byte, r0 int, tri *triangle.Triangle, bots [][]int32) bool {
 	m := len(s)
 	n := m - r0 // shared column count; column c is global position j = r0+c
-	g := &Group{R0: r0, Bottoms: make([][]int32, 4)}
 
-	prev := make([]uint64, n+1)
-	cur := make([]uint64, n+1)
-	maxY := make([]uint64, n+1)
+	prev := growU64(&sc.wPrev, n+1)
+	cur := growU64(&sc.wCur, n+1)
+	maxY := growU64(&sc.wMaxY, n+1)
+	for i := range prev {
+		prev[i] = 0 // zero boundary row; biased-zero lane start for maxY
+		maxY[i] = 0
+	}
+	cur[0] = 0 // becomes prev[0] (the boundary column word) after swap
 
 	openW := swar.Splat(uint16(p.Gap.Open))
 	extW := swar.Splat(uint16(p.Gap.Ext))
@@ -151,29 +146,32 @@ func scoreGroup4(p align.Params, s []byte, r0 int, tri *triangle.Triangle) *Grou
 			maxY[c] = swar.SubSat(swar.Max(u, maxY[c]), extW)
 		}
 		// capture the bottom row of the lane whose matrix ends here
-		if k := y - r0; k >= 0 && k < 4 {
-			bottom := make([]int32, m-y)
+		if k := y - r0; k >= 0 && k < 4 && k < len(bots) && bots[k] != nil {
+			bottom := bots[k]
 			for c := k + 1; c <= n; c++ {
 				bottom[c-k-1] = int32(swar.Lane(cur[c], k))
 			}
-			g.Bottoms[k] = bottom
 		}
 		prev, cur = cur, prev
 	}
-	g.Saturated = satAcc != 0
-	return g
+	sc.wPrev, sc.wCur = prev, cur
+	return satAcc != 0
 }
 
-// scoreGroup8 is the 8-lane kernel: two words per column, covering
+// swar8 is the 8-lane kernel body: two words per column, covering
 // splits r0..r0+7 (the SSE2 analogue).
-func scoreGroup8(p align.Params, s []byte, r0 int, tri *triangle.Triangle) *Group {
+func (sc *Scratch) swar8(p align.Params, s []byte, r0 int, tri *triangle.Triangle, bots [][]int32) bool {
 	m := len(s)
 	n := m - r0
-	g := &Group{R0: r0, Bottoms: make([][]int32, 8)}
 
-	prev := make([]uint64, 2*(n+1))
-	cur := make([]uint64, 2*(n+1))
-	maxY := make([]uint64, 2*(n+1))
+	prev := growU64(&sc.wPrev, 2*(n+1))
+	cur := growU64(&sc.wCur, 2*(n+1))
+	maxY := growU64(&sc.wMaxY, 2*(n+1))
+	for i := range prev {
+		prev[i] = 0
+		maxY[i] = 0
+	}
+	cur[0], cur[1] = 0, 0
 
 	openW := swar.Splat(uint16(p.Gap.Open))
 	extW := swar.Splat(uint16(p.Gap.Ext))
@@ -229,16 +227,15 @@ func scoreGroup8(p align.Params, s []byte, r0 int, tri *triangle.Triangle) *Grou
 			maxY[2*c] = swar.SubSat(swar.Max(u0, maxY[2*c]), extW)
 			maxY[2*c+1] = swar.SubSat(swar.Max(u1, maxY[2*c+1]), extW)
 		}
-		if k := y - r0; k >= 0 && k < 8 {
-			bottom := make([]int32, m-y)
+		if k := y - r0; k >= 0 && k < 8 && k < len(bots) && bots[k] != nil {
+			bottom := bots[k]
 			word, lane := k/4, k%4
 			for c := k + 1; c <= n; c++ {
 				bottom[c-k-1] = int32(swar.Lane(cur[2*c+word], lane))
 			}
-			g.Bottoms[k] = bottom
 		}
 		prev, cur = cur, prev
 	}
-	g.Saturated = satAcc != 0
-	return g
+	sc.wPrev, sc.wCur = prev, cur
+	return satAcc != 0
 }

@@ -1,0 +1,168 @@
+package multialign
+
+import (
+	"fmt"
+
+	"repro/internal/align"
+	"repro/internal/triangle"
+)
+
+// Scratch is the group-kernel analogue of align.Scratch: a reusable
+// buffer arena that makes every group score kernel allocation-free once
+// warm. Buffers grow monotonically to the largest group seen and are
+// reset, never reallocated, on reuse.
+//
+// Ownership rules match align.Scratch (DESIGN.md section 10): a Scratch
+// belongs to one goroutine at a time, and the *Group returned by its
+// methods — including every bottom row — points into the arena and is
+// valid only until the next call on the same Scratch. Callers that
+// retain a row must copy it first.
+//
+// The zero value is ready to use.
+type Scratch struct {
+	prev, cur, maxY []int32 // interleaved int32 lane rows (ILP and AVX2 kernels)
+
+	wPrev, wCur, wMaxY []uint64 // packed uint16 lane words (SWAR kernels)
+
+	edgeM, edgeMx [][4]int32 // striped ILP kernel's inter-stripe carries
+
+	prof      []int32 // query profile: per-character exchange rows (AVX2 kernel)
+	profBuilt []bool
+
+	arena []int32   // bottom-row storage
+	heads [][]int32 // lane headers over arena
+	g     Group     // reusable result
+}
+
+// NewScratch returns an empty Scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// growI32 resizes *buf to n entries, reusing capacity when possible.
+// Contents are unspecified; callers reset what they read.
+func growI32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growU64(buf *[]uint64, n int) []uint64 {
+	if cap(*buf) < n {
+		*buf = make([]uint64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growEdge(buf *[][4]int32, n int) [][4]int32 {
+	if cap(*buf) < n {
+		*buf = make([][4]int32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growBool(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// newGroup prepares the reusable Group result: one arena-backed bottom
+// row per in-range lane (split r0+k <= len-1), nil beyond the sequence
+// end. Lane k's row has length m-r0-k, matching what the kernels fill.
+func (sc *Scratch) newGroup(m, r0, lanes int) *Group {
+	total := 0
+	for k := 0; k < lanes; k++ {
+		if r := r0 + k; r <= m-1 {
+			total += m - r
+		}
+	}
+	arena := growI32(&sc.arena, total)
+	if cap(sc.heads) < lanes {
+		sc.heads = make([][]int32, lanes)
+	}
+	heads := sc.heads[:lanes]
+	off := 0
+	for k := 0; k < lanes; k++ {
+		if r := r0 + k; r <= m-1 {
+			heads[k] = arena[off : off+(m-r) : off+(m-r)]
+			off += m - r
+		} else {
+			heads[k] = nil
+		}
+	}
+	sc.g = Group{R0: r0, Bottoms: heads}
+	return &sc.g
+}
+
+// ScoreGroup is the scratch-based variant of the package-level
+// ScoreGroup (the SWAR uint16-lane kernels).
+func (sc *Scratch) ScoreGroup(p align.Params, s []byte, r0, lanes int, tri *triangle.Triangle) (*Group, error) {
+	if err := CheckParams(p); err != nil {
+		return nil, err
+	}
+	m := len(s)
+	if r0 < 1 || r0 > m-1 {
+		return nil, fmt.Errorf("multialign: group start split %d out of range for length %d", r0, m)
+	}
+	g := sc.newGroup(m, r0, lanes)
+	switch lanes {
+	case 4:
+		g.Saturated = sc.swar4(p, s, r0, tri, g.Bottoms)
+	case 8:
+		g.Saturated = sc.swar8(p, s, r0, tri, g.Bottoms)
+	default:
+		return nil, fmt.Errorf("multialign: unsupported lane count %d (want 4 or 8)", lanes)
+	}
+	return g, nil
+}
+
+// ScoreGroupILP is the scratch-based variant of the package-level
+// ScoreGroupILP (4 exact int32 lanes, flat rows).
+func (sc *Scratch) ScoreGroupILP(p align.Params, s []byte, r0 int, tri *triangle.Triangle) *Group {
+	g := sc.newGroup(len(s), r0, 4)
+	sc.ilp4(p, s, r0, tri, g.Bottoms)
+	return g
+}
+
+// ScoreGroupILPStriped is the scratch-based variant of the package-level
+// ScoreGroupILPStriped.
+func (sc *Scratch) ScoreGroupILPStriped(p align.Params, s []byte, r0 int, tri *triangle.Triangle, width int) *Group {
+	g := sc.newGroup(len(s), r0, 4)
+	sc.ilp4Striped(p, s, r0, tri, width, g.Bottoms)
+	return g
+}
+
+// ScoreGroupAuto is the scratch-based variant of the package-level
+// ScoreGroupAuto and the production group kernel: on amd64 with AVX2 the
+// 8-lane case runs the vector row kernel; otherwise exact ILP lanes run
+// in blocks of four.
+func (sc *Scratch) ScoreGroupAuto(p align.Params, s []byte, r0, lanes int, tri *triangle.Triangle) (*Group, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := len(s)
+	if r0 < 1 || r0 > m-1 {
+		return nil, fmt.Errorf("multialign: group start split %d out of range for length %d", r0, m)
+	}
+	if lanes != 4 && lanes != 8 {
+		return nil, fmt.Errorf("multialign: unsupported lane count %d (want 4 or 8)", lanes)
+	}
+	g := sc.newGroup(m, r0, lanes)
+	if lanes == 8 && hasAVX2 {
+		sc.avx8(p, s, r0, tri, g.Bottoms)
+		return g, nil
+	}
+	for block := 0; block < lanes; block += 4 {
+		b0 := r0 + block
+		if b0 > m-1 {
+			break
+		}
+		sc.ilp4Striped(p, s, b0, tri, 0, g.Bottoms[block:])
+	}
+	return g, nil
+}

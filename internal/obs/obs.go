@@ -122,6 +122,20 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sum.Add(ns)
 }
 
+// ObserveN records n observations of d each, in one pass. Group kernels
+// use it to attribute a group's wall time to its members so the
+// histogram's count matches the alignment count and its mean stays a
+// per-alignment figure.
+func (h *Histogram) ObserveN(d time.Duration, n int) {
+	if h == nil || n <= 0 {
+		return
+	}
+	ns := d.Nanoseconds()
+	h.buckets[bucketFor(ns)].Add(int64(n))
+	h.count.Add(int64(n))
+	h.sum.Add(ns * int64(n))
+}
+
 // Snapshot returns a point-in-time copy (zero snapshot for nil).
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	var s HistogramSnapshot

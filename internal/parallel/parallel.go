@@ -23,14 +23,34 @@
 //     This mode provably yields bit-identical results to the sequential
 //     algorithm and is the default for correctness-sensitive callers.
 //
+// Scheduling discipline (reworked for scalability):
+//
+//   - The queue is the only state guarded by the mutex; workers hold it
+//     just long enough to pop or push a task.
+//   - The triangle snapshot and its top count live together in one
+//     immutable snapState behind an atomic pointer, so realigning
+//     workers and external observers read it without the lock.
+//   - Wakeups are targeted: each push or pop signals at most one waiting
+//     worker, and a worker that pops while more runnable work remains
+//     chains one further signal. Broadcast is reserved for termination.
+//     This removes the wake-all convoy where every queue operation woke
+//     every worker only for all but one to re-sleep.
+//   - Every worker owns a topalign.Scratch, so realignments and
+//     tracebacks run allocation-free once warm.
+//
 // Workers are goroutines; on a multi-core machine they map to OS threads
-// exactly like the paper's Pthreads implementation.
+// exactly like the paper's Pthreads implementation. The composed
+// configuration — group tasks (topalign.Config.GroupLanes > 1) under
+// this scheduler — is the paper's level composition: each worker
+// realigns a group of up to 8 neighbouring splits per grab with the
+// SIMD-style group kernel.
 package parallel
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/topalign"
@@ -72,11 +92,11 @@ func Run(e *topalign.Engine, pcfg Config) error {
 	st := &sched{
 		e:        e,
 		queue:    topalign.InitialQueue(e),
-		snapshot: e.TriangleSnapshot(),
 		spec:     pcfg.Speculative,
 		minScore: e.Config().MinScore,
 		numTops:  e.Config().NumTops,
 	}
+	st.snap.Store(&snapState{tri: e.TriangleSnapshot(), tops: e.NumTopsFound()})
 	st.cond = sync.NewCond(&st.mu)
 
 	var wg sync.WaitGroup
@@ -84,24 +104,32 @@ func Run(e *topalign.Engine, pcfg Config) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			st.worker()
+			st.worker(topalign.NewScratch())
 		}()
 	}
 	wg.Wait()
 	return st.err
 }
 
-// sched is the shared scheduler state. All fields are protected by mu;
-// snapshot is an immutable clone workers may read after copying the
-// pointer under the lock.
+// snapState pairs an immutable triangle clone with the top count it
+// corresponds to. Publishing both behind one atomic pointer keeps them
+// consistent without holding the scheduler lock to read them.
+type snapState struct {
+	tri  *triangle.Triangle
+	tops int
+}
+
+// sched is the shared scheduler state. The queue and the inflight /
+// accepting / done bookkeeping are protected by mu; snap is read
+// lock-free.
 type sched struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	e        *topalign.Engine
-	queue    *topalign.TaskQueue
-	snapshot *triangle.Triangle // immutable clone of the current triangle
-	snapTops int                // top count the snapshot corresponds to
+	e     *topalign.Engine
+	queue *topalign.TaskQueue
+
+	snap atomic.Pointer[snapState]
 
 	inflight  int
 	accepting bool
@@ -113,8 +141,9 @@ type sched struct {
 	numTops  int
 }
 
-// worker is the scheduling loop each goroutine runs.
-func (st *sched) worker() {
+// worker is the scheduling loop each goroutine runs, with its own
+// kernel scratch.
+func (st *sched) worker(sc *topalign.Scratch) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for {
@@ -139,45 +168,50 @@ func (st *sched) worker() {
 			st.cond.Wait() // let in-flight results land; they may raise nothing
 			continue
 		}
-		if head.AlignedWith == st.snapTops {
+		snap := st.snap.Load() // coherent: stores happen under mu
+		if head.AlignedWith == snap.tops {
 			// Candidate top alignment.
 			if st.accepting || (!st.spec && st.inflight > 0) {
 				st.cond.Wait()
 				continue
 			}
-			st.accept(st.queue.Pop())
+			st.accept(st.queue.Pop(), sc)
 			continue
 		}
-		// Stale: realign against the current snapshot, outside the lock.
+		// Stale: pop under the lock, realign outside it. If more
+		// runnable work remains, chain a wakeup so an idle peer can
+		// start on it concurrently.
 		t := st.queue.Pop()
-		snap, snapTops := st.snapshot, st.snapTops
 		st.inflight++
+		if st.queue.Len() > 0 {
+			st.cond.Signal()
+		}
 		st.mu.Unlock()
 
-		topalign.Realign(st.e, t, snap, snapTops)
+		topalign.RealignS(st.e, t, snap.tri, snap.tops, sc)
 
 		st.mu.Lock()
 		st.inflight--
-		if snapTops != st.snapTops {
+		if snap.tops != st.snap.Load().tops {
 			// The triangle advanced while we computed: the result is a
 			// stale upper bound, the paper's speculation overhead.
-			st.e.Config().Trace.Record(obs.EvSpecWaste, -1, int32(t.R), int64(snapTops))
+			st.e.Config().Trace.Record(obs.EvSpecWaste, -1, int32(t.R), int64(snap.tops))
 		}
 		st.queue.Push(t)
-		st.cond.Broadcast()
+		st.cond.Signal()
 	}
 }
 
 // accept performs the acceptance (including the sequential traceback)
 // for task t. Called with the lock held; the traceback runs unlocked so
 // speculative workers can keep realigning against the old snapshot.
-func (st *sched) accept(t *topalign.Task) {
+func (st *sched) accept(t *topalign.Task, sc *topalign.Scratch) {
 	st.accepting = true
 	st.mu.Unlock()
 
 	// Only this goroutine touches the engine's mutable state while
 	// st.accepting is set; realigning workers use the old snapshot.
-	_, err := topalign.Accept(st.e, t)
+	_, err := topalign.AcceptS(st.e, t, sc)
 
 	st.mu.Lock()
 	st.accepting = false
@@ -185,14 +219,13 @@ func (st *sched) accept(t *topalign.Task) {
 		st.finish(fmt.Errorf("parallel: %w", err))
 		return
 	}
-	st.snapshot = st.e.TriangleSnapshot()
-	st.snapTops = st.e.NumTopsFound()
+	st.snap.Store(&snapState{tri: st.e.TriangleSnapshot(), tops: st.e.NumTopsFound()})
 	st.queue.Push(t) // score unchanged: still a valid upper bound
 	if st.e.NumTopsFound() >= st.numTops {
 		st.finish(nil)
 		return
 	}
-	st.cond.Broadcast()
+	st.cond.Signal()
 }
 
 // finish marks the run complete. Called with the lock held.

@@ -220,6 +220,32 @@ func TestStrictDifferentialWithJournal(t *testing.T) {
 	}
 }
 
+// TestStrictHammer stress-tests the reworked scheduler: many more
+// workers than cores, scalar and 8-lane group tasks, across six seeds.
+// Strict mode must stay bit-identical to the sequential algorithm under
+// maximum contention on the queue, the targeted wakeups, and the atomic
+// snapshot pointer. Run with -race this doubles as the data-race gate
+// for the scratch-per-worker and snapState machinery.
+func TestStrictHammer(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		q := seq.SyntheticTitin(180, seed)
+		for _, lanes := range []int{1, 8} {
+			cfg := topalign.Config{Params: proteinParams, NumTops: 8, GroupLanes: lanes}
+			want, err := topalign.Find(q.Codes, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{3, 16} {
+				got, err := Find(q.Codes, cfg, Config{Workers: workers})
+				if err != nil {
+					t.Fatalf("seed %d lanes %d workers %d: %v", seed, lanes, workers, err)
+				}
+				assertSameTops(t, got.Tops, want.Tops)
+			}
+		}
+	}
+}
+
 // assertSameAccepts checks a run's journalled accept sequence against
 // the sequential reference, and that the journal itself is well-formed
 // (strictly increasing seq, monotone timestamps).

@@ -70,6 +70,18 @@ func (c *Counters) ObserveAlignLatency(d time.Duration) {
 	c.alignNanos.Observe(d)
 }
 
+// ObserveAlignLatencyPer attributes a group computation's wall time d to
+// its members alignments: each member is recorded as one observation of
+// d/members, so the histogram's count matches the alignment count and
+// the reported mean stays a per-alignment figure. members <= 0 records
+// nothing.
+func (c *Counters) ObserveAlignLatencyPer(d time.Duration, members int) {
+	if c == nil || members <= 0 {
+		return
+	}
+	c.alignNanos.ObserveN(d/time.Duration(members), members)
+}
+
 // AddTraceback records one full-matrix traceback over cells entries.
 func (c *Counters) AddTraceback(cells int64) {
 	if c == nil {

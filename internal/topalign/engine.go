@@ -10,22 +10,38 @@ import (
 	"repro/internal/triangle"
 )
 
+// Scratch bundles the kernel arenas one worker needs for the full task
+// cycle: scalar and striped score kernels, group kernels, and the
+// traceback matrix. Schedulers own one Scratch per worker goroutine; the
+// sequential driver uses the engine's own instance. See align.Scratch
+// for the ownership rules.
+type Scratch struct {
+	A align.Scratch
+	G multialign.Scratch
+}
+
+// NewScratch returns an empty Scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
 // Engine holds the shared state of a top-alignment computation — the
 // sequence, the override triangle, the original-bottom-row store, and
 // the accepted top alignments — and provides the single-task operations
 // the sequential and parallel drivers are built from.
 //
-// Engine methods are not self-synchronising. AlignScore and
-// AlignGroupScore are pure with respect to the triangle snapshot passed
-// in (the row store is internally locked), so schedulers may run them
-// concurrently; AcceptTop mutates the engine and must be serialised by
-// the caller. The sequential driver simply calls everything in order.
+// Engine methods are not self-synchronising. The scratch-taking variants
+// (AlignScoreS, AlignGroupScoreS) are pure with respect to the triangle
+// snapshot passed in (the row store is internally locked), so schedulers
+// may run them concurrently as long as each concurrent caller brings its
+// own Scratch. The convenience wrappers without a Scratch argument use
+// the engine-owned arena and must therefore be serialised, as must
+// AcceptTop, which mutates the engine.
 type Engine struct {
 	s    []byte
 	cfg  Config
 	tri  *triangle.Triangle
 	orig *triangle.RowStore
 	tops []TopAlignment
+	own  Scratch // arena for the serialised convenience methods
 }
 
 // NewEngine validates the configuration and prepares the state for
@@ -74,26 +90,33 @@ func (e *Engine) TriangleSnapshot() *triangle.Triangle { return e.tri.Clone() }
 // serves replicas from it).
 func (e *Engine) OrigRows() *triangle.RowStore { return e.orig }
 
-// AlignScore aligns split r score-only against the given triangle and
+// AlignScore aligns split r score-only against the given triangle using
+// the engine-owned scratch. Serialised callers only; see AlignScoreS.
+func (e *Engine) AlignScore(r int, tri *triangle.Triangle) int32 {
+	return e.AlignScoreS(r, tri, &e.own)
+}
+
+// AlignScoreS aligns split r score-only against the given triangle and
 // returns the split's score: the maximum over valid bottom-row endings
 // after shadow rejection. On a task's first alignment the triangle is
 // ignored (first alignments always see the empty triangle — every task
 // is aligned once before the first acceptance, see Find) and the bottom
-// row is recorded as the split's original row.
-func (e *Engine) AlignScore(r int, tri *triangle.Triangle) int32 {
+// row is recorded as the split's original row. All working memory comes
+// from sc; the hot path performs no allocation.
+func (e *Engine) AlignScoreS(r int, tri *triangle.Triangle, sc *Scratch) int32 {
 	s1, s2 := e.s[:r], e.s[r:]
 	orig, have := e.orig.Get(r)
 	if !have {
 		t0 := time.Now()
-		row := e.scoreScalar(s1, s2, nil, r)
+		row := e.scoreScalar(sc, s1, s2, nil, r)
 		e.cfg.Counters.ObserveAlignLatency(time.Since(t0))
-		e.orig.Put(r, row)
+		e.orig.Put(r, row) // Put copies; row is scratch-owned
 		e.cfg.Counters.AddAlignment(align.Cells(len(s1), len(s2)), false)
 		_, score, _ := align.BestValidEnd(row, nil)
 		return score
 	}
 	t0 := time.Now()
-	row := e.scoreScalar(s1, s2, tri, r)
+	row := e.scoreScalar(sc, s1, s2, tri, r)
 	e.cfg.Counters.ObserveAlignLatency(time.Since(t0))
 	e.cfg.Counters.AddAlignment(align.Cells(len(s1), len(s2)), true)
 	_, score, rejected := align.BestValidEnd(row, orig)
@@ -105,23 +128,40 @@ func (e *Engine) AlignScore(r int, tri *triangle.Triangle) int32 {
 }
 
 // scoreScalar dispatches to the plain or striped scalar kernel.
-func (e *Engine) scoreScalar(s1, s2 []byte, tri *triangle.Triangle, r int) []int32 {
+func (e *Engine) scoreScalar(sc *Scratch, s1, s2 []byte, tri *triangle.Triangle, r int) []int32 {
 	if e.cfg.Striped {
-		return align.ScoreStriped(e.cfg.Params, s1, s2, tri, r, e.cfg.StripeWidth)
+		return sc.A.ScoreStriped(e.cfg.Params, s1, s2, tri, r, e.cfg.StripeWidth)
 	}
-	return align.ScoreMasked(e.cfg.Params, s1, s2, tri, r)
+	return sc.A.ScoreMasked(e.cfg.Params, s1, s2, tri, r)
 }
 
-// AlignGroupScore aligns the fixed group of GroupLanes neighbouring
+// AlignGroupScore is AlignGroupScoreS with the engine-owned scratch and
+// a fresh scores slice. Serialised callers only.
+func (e *Engine) AlignGroupScore(r0 int, tri *triangle.Triangle) []int32 {
+	return e.AlignGroupScoreS(r0, tri, &e.own, nil)
+}
+
+// AlignGroupScoreS aligns the fixed group of GroupLanes neighbouring
 // splits starting at r0 against the given triangle and returns one score
 // per member (member i is split r0+i; members beyond the last split get
 // score 0). First-time members have their original rows recorded.
-// Groups are computed with the exact ILP kernel (multialign), falling
-// back to the scalar kernel only on an internal error.
-func (e *Engine) AlignGroupScore(r0 int, tri *triangle.Triangle) []int32 {
+// Groups are computed with the fastest exact group kernel (multialign),
+// falling back to the scalar kernel only on an internal error.
+//
+// The result is written into scores when it has capacity (callers reuse
+// a task's member-score slice); otherwise a fresh slice is returned. The
+// group's wall time is attributed to its live members so the latency
+// histogram stays per-alignment.
+func (e *Engine) AlignGroupScoreS(r0 int, tri *triangle.Triangle, sc *Scratch, scores []int32) []int32 {
 	lanes := e.cfg.GroupLanes
 	m := len(e.s)
-	scores := make([]int32, lanes)
+	if cap(scores) < lanes {
+		scores = make([]int32, lanes)
+	}
+	scores = scores[:lanes]
+	for i := range scores {
+		scores[i] = 0
+	}
 
 	// First alignments must see the empty triangle. Within a group all
 	// members share alignment history (they are always aligned
@@ -131,21 +171,25 @@ func (e *Engine) AlignGroupScore(r0 int, tri *triangle.Triangle) []int32 {
 		first = true
 		tri = nil
 	}
+	members := m - r0 // live lanes: splits r0..min(r0+lanes-1, m-1)
+	if members > lanes {
+		members = lanes
+	}
 
 	t0 := time.Now()
-	g, err := multialign.ScoreGroupAuto(e.cfg.Params, e.s, r0, lanes, tri)
-	e.cfg.Counters.ObserveAlignLatency(time.Since(t0))
+	g, err := sc.G.ScoreGroupAuto(e.cfg.Params, e.s, r0, lanes, tri)
 	if err != nil {
-		// scalar fallback, member by member
+		// scalar fallback, member by member (observes its own latency)
 		for i := 0; i < lanes; i++ {
 			r := r0 + i
 			if r > m-1 {
 				break
 			}
-			scores[i] = e.AlignScore(r, tri)
+			scores[i] = e.AlignScoreS(r, tri, sc)
 		}
 		return scores
 	}
+	e.cfg.Counters.ObserveAlignLatencyPer(time.Since(t0), members)
 	for i := 0; i < lanes; i++ {
 		r := r0 + i
 		if r > m-1 {
@@ -153,7 +197,7 @@ func (e *Engine) AlignGroupScore(r0 int, tri *triangle.Triangle) []int32 {
 		}
 		row := g.Bottoms[i]
 		if first {
-			e.orig.Put(r, row)
+			e.orig.Put(r, row) // Put copies; row is scratch-owned
 			e.cfg.Counters.AddAlignment(align.Cells(r, m-r), false)
 			_, scores[i], _ = align.BestValidEnd(row, nil)
 			continue
@@ -170,24 +214,32 @@ func (e *Engine) AlignGroupScore(r0 int, tri *triangle.Triangle) []int32 {
 	return scores
 }
 
-// AcceptTop accepts split r's current alignment as the next top
+// AcceptTop is AcceptTopS with the engine-owned scratch. AcceptTop
+// mutates the engine and is always serialised by callers, so using the
+// engine arena here is safe as long as no concurrent caller uses the
+// engine-owned scratch for scoring (schedulers use per-worker scratches).
+func (e *Engine) AcceptTop(r int) (TopAlignment, error) {
+	return e.AcceptTopS(r, &e.own)
+}
+
+// AcceptTopS accepts split r's current alignment as the next top
 // alignment: it recomputes the full matrix against the current triangle,
 // tracebacks from the best valid ending, marks the path's residue pairs
 // in the triangle, and records the result. The returned alignment's
 // pairs are in global coordinates.
-func (e *Engine) AcceptTop(r int) (TopAlignment, error) {
+func (e *Engine) AcceptTopS(r int, sc *Scratch) (TopAlignment, error) {
 	s1, s2 := e.s[:r], e.s[r:]
 	orig, have := e.orig.Get(r)
 	if !have {
 		return TopAlignment{}, fmt.Errorf("topalign: accepting split %d that was never aligned", r)
 	}
-	mtx := align.Matrix(e.cfg.Params, s1, s2, e.tri, r)
+	mtx := sc.A.Matrix(e.cfg.Params, s1, s2, e.tri, r)
 	e.cfg.Counters.AddTraceback(align.Cells(len(s1), len(s2)))
 	endX, score, _ := align.BestValidEnd(mtx[r][1:], orig)
 	if endX == 0 || score <= 0 {
 		return TopAlignment{}, fmt.Errorf("topalign: split %d has no valid alignment to accept", r)
 	}
-	a, err := align.Traceback(e.cfg.Params, mtx, s1, s2, e.tri, r, endX)
+	a, err := sc.A.Traceback(e.cfg.Params, mtx, s1, s2, e.tri, r, endX)
 	if err != nil {
 		return TopAlignment{}, fmt.Errorf("topalign: split %d: %w", r, err)
 	}

@@ -70,14 +70,22 @@ func InitialQueue(e *Engine) *TaskQueue {
 // corresponds to topNum accepted top alignments, and updates the task's
 // score and AlignedWith stamp. The new score is exact for that triangle
 // and remains a valid upper bound for any later (larger) triangle.
-// Sequential callers pass the engine's current triangle and top count;
-// concurrent schedulers pass an immutable snapshot.
+// Sequential callers use this engine-scratch variant; concurrent
+// schedulers pass an immutable snapshot and a per-worker Scratch to
+// RealignS.
 func Realign(e *Engine, t *Task, tri *triangle.Triangle, topNum int) {
+	RealignS(e, t, tri, topNum, &e.own)
+}
+
+// RealignS is Realign with an explicit Scratch. The task's member-score
+// slice is reused across realignments, so a warm task realigns without
+// allocation.
+func RealignS(e *Engine, t *Task, tri *triangle.Triangle, topNum int, sc *Scratch) {
 	if e.Config().GroupLanes > 1 {
-		t.MemberScores = e.AlignGroupScore(t.R, tri)
+		t.MemberScores = e.AlignGroupScoreS(t.R, tri, sc, t.MemberScores)
 		t.Score = maxScore(t.MemberScores)
 	} else {
-		t.Score = e.AlignScore(t.R, tri)
+		t.Score = e.AlignScoreS(t.R, tri, sc)
 	}
 	t.AlignedWith = topNum
 	e.Config().Trace.Record(obs.EvRealign, -1, int32(t.R), int64(t.Score))
@@ -86,6 +94,11 @@ func Realign(e *Engine, t *Task, tri *triangle.Triangle, topNum int) {
 // Accept accepts the task's best member as the next top alignment and
 // refreshes the task's member bookkeeping.
 func Accept(e *Engine, t *Task) (TopAlignment, error) {
+	return AcceptS(e, t, &e.own)
+}
+
+// AcceptS is Accept with an explicit Scratch for the traceback matrix.
+func AcceptS(e *Engine, t *Task, sc *Scratch) (TopAlignment, error) {
 	r := t.R
 	if e.Config().GroupLanes > 1 {
 		if len(t.MemberScores) == 0 {
@@ -99,7 +112,7 @@ func Accept(e *Engine, t *Task) (TopAlignment, error) {
 		}
 		r = t.R + best
 	}
-	return e.AcceptTop(r)
+	return e.AcceptTopS(r, sc)
 }
 
 func maxScore(scores []int32) int32 {

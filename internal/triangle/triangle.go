@@ -105,6 +105,37 @@ func (t *Triangle) RowEmpty(from, n int) bool {
 	return t.words[wTo]&(^uint64(0)>>uint(63-(to-1)&63)) == 0
 }
 
+// NextSet returns the smallest raw index in [from, to) whose pair is
+// marked, or -1 if none. Segmented kernels use it to split a masked row
+// into clean runs that skip the per-column override probe entirely.
+func (t *Triangle) NextSet(from, to int) int {
+	if from < 0 {
+		from = 0
+	}
+	if max := len(t.words) * 64; to > max {
+		to = max
+	}
+	if from >= to {
+		return -1
+	}
+	w := from >> 6
+	word := t.words[w] & (^uint64(0) << uint(from&63))
+	for {
+		if word != 0 {
+			idx := w<<6 + bits.TrailingZeros64(word)
+			if idx >= to {
+				return -1
+			}
+			return idx
+		}
+		w++
+		if w<<6 >= to {
+			return -1
+		}
+		word = t.words[w]
+	}
+}
+
 // Clone returns an independent copy. The parallel schedulers use clones
 // as immutable published snapshots.
 func (t *Triangle) Clone() *Triangle {
