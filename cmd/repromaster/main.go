@@ -18,6 +18,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/repeats"
 	"repro/internal/scoring"
 	"repro/internal/seq"
@@ -47,11 +48,13 @@ func main() {
 	var (
 		reg *obs.Registry
 		jnl *obs.Journal
+		col *trace.Collector
 	)
 	if *debugAddr != "" {
 		reg = obs.NewRegistry()
 		jnl = obs.NewJournal(0)
-		dbg, err := obs.StartDebug(*debugAddr, reg, jnl)
+		col = trace.NewCollector(0, 0)
+		dbg, err := obs.StartDebug(*debugAddr, reg, jnl, col)
 		if err != nil {
 			fatal(err)
 		}
@@ -109,6 +112,14 @@ func main() {
 		TaskTimeout: *taskTimeout,
 		Metrics:     reg,
 	}
+	// With debug endpoints on, trace the run: the master records its own
+	// and every shipped slave span into the collector, the trace is
+	// served at /trace/{id}, and the critical path is printed at the end.
+	var rec *trace.Recorder
+	if col != nil {
+		rec = col.Rec(trace.NewTraceID())
+		cfg.Spans = rec
+	}
 	t0 := time.Now()
 	res, err := cluster.RunMaster(comm, q.Codes, cfg)
 	if err != nil {
@@ -117,6 +128,17 @@ func main() {
 	fmt.Fprintf(os.Stderr, "repromaster: %d top alignments in %.2fs\n",
 		len(res.Tops), time.Since(t0).Seconds())
 	fmt.Fprintf(os.Stderr, "repromaster: %s\n", res.Stats)
+	if rec != nil {
+		fmt.Fprintf(os.Stderr, "repromaster: trace %s\n", rec.TraceID())
+		if spans, _, ok := col.Get(rec.TraceID()); ok {
+			if rpt, err := trace.AnalyzeCriticalPath(spans); err == nil {
+				for _, e := range rpt.Entries {
+					fmt.Fprintf(os.Stderr, "repromaster:   %-10s %8.2fms %5.1f%%\n",
+						e.Category, float64(e.NS)/1e6, 100*e.Frac)
+				}
+			}
+		}
+	}
 
 	for _, top := range res.Tops {
 		first, last := top.Pairs[0], top.Pairs[len(top.Pairs)-1]

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/serve"
 )
 
@@ -34,11 +35,16 @@ func main() {
 		timeout = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 		maxSeq  = flag.Int("max-seq", 100000, "maximum sequence length admitted")
 		drainT  = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for queued work")
+		traces  = flag.Int("traces", trace.DefaultMaxTraces, "request traces retained for /trace/{id} (0 = default, -1 = disable)")
 	)
 	flag.Parse()
 
 	reg := obs.NewRegistry()
 	jnl := obs.NewJournal(0)
+	var col *trace.Collector
+	if *traces >= 0 {
+		col = trace.NewCollector(*traces, 0)
+	}
 	srv := serve.New(serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -47,6 +53,7 @@ func main() {
 		CacheEntries:   *cacheN,
 		Metrics:        reg,
 		Journal:        jnl,
+		Traces:         col,
 	})
 	srv.Start()
 

@@ -40,7 +40,7 @@ func main() {
 	var reg *obs.Registry
 	if *debugAddr != "" {
 		reg = obs.NewRegistry()
-		dbg, err := obs.StartDebug(*debugAddr, reg, nil)
+		dbg, err := obs.StartDebug(*debugAddr, reg, nil, nil)
 		if err != nil {
 			fatal(err)
 		}

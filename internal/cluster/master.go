@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/topalign"
 )
 
@@ -34,6 +35,15 @@ type Config struct {
 	// (dispatch, redispatch, duplicate, rank-down, rank-join). Defaults
 	// to Top.Trace, so one journal can carry the whole run.
 	Journal *obs.Journal
+	// Spans, when non-nil, records the run's request-scoped trace: a
+	// cluster.run span on the master, one cluster.dispatch span per
+	// task sent, cluster.stall spans for straggler waits, and the
+	// re-based slave.* spans shipped back inside results. The run's
+	// trace ID travels to every slave in the setup message.
+	Spans *trace.Recorder
+	// SpanParent, when non-zero, parents the cluster.run span (the
+	// serving layer passes its engine span here).
+	SpanParent trace.SpanID
 }
 
 // RunMaster drives a cluster computation from rank 0: it ships the
@@ -53,6 +63,15 @@ func RunMaster(comm mpi.Comm, s []byte, cfg Config) (*topalign.Result, error) {
 	if comm.Rank() != 0 {
 		return nil, fmt.Errorf("cluster: RunMaster called on rank %d", comm.Rank())
 	}
+	// The cluster.run span wraps the whole distributed computation; it is
+	// opened before engine creation so the engine's accept spans (which
+	// run on the master, rank 0) nest under it.
+	runSpan := cfg.Spans.Start(cfg.SpanParent, "cluster.run")
+	runSpan.SetRank(0)
+	defer runSpan.End()
+	cfg.Top.Spans = cfg.Spans
+	cfg.Top.SpanParent = runSpan.ID()
+	cfg.Top.SpanRank = 0
 	e, err := topalign.NewEngine(s, cfg.Top)
 	if err != nil {
 		return nil, err
@@ -69,6 +88,7 @@ func RunMaster(comm mpi.Comm, s []byte, cfg Config) (*topalign.Result, error) {
 		flights: make(map[int]*flight),
 		owed:    make(map[int]map[int]bool),
 		live:    make(map[int]bool),
+		runSpan: runSpan.ID(),
 	}
 	return m.run(s)
 }
@@ -76,8 +96,10 @@ func RunMaster(comm mpi.Comm, s []byte, cfg Config) (*topalign.Result, error) {
 // flight is one task currently dispatched to at least one slave.
 type flight struct {
 	t        *topalign.Task
-	owners   map[int]bool // slave ranks working on the task
-	deadline time.Time    // when the task becomes a straggler
+	owners   map[int]bool   // slave ranks working on the task
+	deadline time.Time      // when the task becomes a straggler
+	spans    []*trace.Active // open cluster.dispatch spans, one per copy
+	sentAt   int64          // recorder time of the latest dispatch
 }
 
 type master struct {
@@ -90,8 +112,9 @@ type master struct {
 	owed    map[int]map[int]bool // slave rank -> task Rs dispatched to it, not yet credited back
 	live    map[int]bool
 	done    bool
-	setup   []byte   // encoded msgSetup, re-shipped to late joiners
-	topHist [][]byte // encoded msgTop per accepted top, for rejoin replay
+	setup   []byte       // encoded msgSetup, re-shipped to late joiners
+	topHist [][]byte     // encoded msgTop per accepted top, for rejoin replay
+	runSpan trace.SpanID // the cluster.run span, parent of all dispatches
 }
 
 // Registry names used by the master (DESIGN.md section 8). Per-rank
@@ -134,6 +157,7 @@ func (m *master) run(s []byte) (*topalign.Result, error) {
 		MinScore: cfg.MinScore,
 		Lanes:    uint8(cfg.GroupLanes),
 		Striped:  cfg.Striped,
+		Trace:    m.cfg.Spans.TraceID(),
 	}.encode()
 	size := m.comm.Size() // snapshot: later joiners arrive via TagJoin
 	for rank := 1; rank < size; rank++ {
@@ -295,13 +319,18 @@ func (m *master) handleResult(from int, res msgResult) error {
 		return nil
 	}
 	delete(m.flights, R)
+	for _, sp := range fl.spans {
+		sp.End()
+	}
 	t := fl.t
-	if !res.First && int(res.Version) < m.e.NumTopsFound() {
+	stale := !res.First && int(res.Version) < m.e.NumTopsFound()
+	if stale {
 		// Computed against a replica that has since advanced: the
 		// paper's speculation overhead — the score re-enters the queue
 		// as a stale upper bound rather than being discarded.
 		m.jot(obs.EvSpecWaste, from, res.R, int64(res.Version))
 	}
+	m.absorbSpans(from, res, stale)
 
 	if res.First {
 		// Store the original rows (one per member in group mode).
@@ -347,6 +376,37 @@ func (m *master) handleResult(from int, res msgResult) error {
 	return nil
 }
 
+// absorbSpans folds a slave's shipped spans into the run's trace. The
+// spans arrive with Start times on the slave's local monotonic timeline;
+// they are re-based onto the master's collector timeline by assuming the
+// slave encoded them (stamping SlaveNow) half a heartbeat round trip
+// before the master received them. The residual error — scheduling
+// noise, RTT asymmetry — is nanoseconds-to-microseconds against
+// millisecond spans, and the critical-path analyzer clamps children
+// into parents, so it cannot produce negative attributions. Span loss
+// or corruption never fails a run.
+func (m *master) absorbSpans(from int, res msgResult, stale bool) {
+	rec := m.cfg.Spans
+	if rec == nil || len(res.Spans) == 0 {
+		return
+	}
+	spans, err := trace.DecodeSpans(res.Spans)
+	if err != nil {
+		return
+	}
+	offset := rec.Now() - mpi.HeartbeatRTT(m.cfg.Metrics, from)/2 - res.SlaveNow
+	for _, sp := range spans {
+		sp.Start += offset
+		if stale && sp.Name == "slave.kernel" {
+			// The kernel ran against a replica that has since advanced:
+			// this is the paper's speculation overhead, and the trace
+			// should attribute it as waste rather than useful work.
+			sp.Name = "slave.kernel.wasted"
+		}
+		rec.Add(sp)
+	}
+}
+
 // handleDown removes a dead slave and requeues every task it alone was
 // working on; tasks also owned by a surviving slave stay in flight.
 func (m *master) handleDown(rank int) {
@@ -364,6 +424,9 @@ func (m *master) handleDown(rank int) {
 		if len(fl.owners) == 0 {
 			m.queue.Push(fl.t) // unchanged: still a valid (stale) upper bound
 			delete(m.flights, R)
+			for _, sp := range fl.spans {
+				sp.End()
+			}
 			requeued++
 		}
 	}
@@ -454,8 +517,15 @@ func (m *master) pump() {
 // the flight state is unchanged.
 func (m *master) dispatch(slave int, t *topalign.Task, fl *flight) bool {
 	job := msgJob{R: int32(t.R), First: t.AlignedWith < 0}
+	// The dispatch span covers send-to-result on the master's timeline;
+	// its ID travels in the job so the slave's spans parent under it.
+	dspan := m.cfg.Spans.Start(m.runSpan, "cluster.dispatch")
+	dspan.SetRank(int32(slave))
+	dspan.SetArg(int64(t.R))
+	job.Span = dspan.ID()
 	if err := m.comm.Send(slave, tagJob, job.encode()); err != nil {
 		// treat as dead; the TagDown will follow, but clean up now
+		dspan.End()
 		m.handleDown(slave)
 		return false
 	}
@@ -474,6 +544,10 @@ func (m *master) dispatch(slave int, t *topalign.Task, fl *flight) bool {
 		m.bump(fmt.Sprintf(metricRedispatchRank, slave))
 		m.jot(obs.EvRedispatch, slave, int32(t.R), int64(len(fl.owners)))
 	}
+	if dspan != nil {
+		fl.spans = append(fl.spans, dspan)
+	}
+	fl.sentAt = m.cfg.Spans.Now()
 	fl.owners[slave] = true
 	if m.owed[slave] == nil {
 		m.owed[slave] = make(map[int]bool)
@@ -493,7 +567,7 @@ func (m *master) redispatchStale() {
 		return
 	}
 	now := time.Now()
-	for _, fl := range m.flights {
+	for R, fl := range m.flights {
 		if now.Before(fl.deadline) {
 			continue
 		}
@@ -509,6 +583,23 @@ func (m *master) redispatchStale() {
 			// deadline push keeps one slow scan from re-triggering.
 			fl.deadline = now.Add(m.cfg.TaskTimeout)
 			continue
+		}
+		// Record the straggler stall as a completed span: from the moment
+		// the task went overdue to this re-dispatch. (sentAt advances on
+		// re-dispatch, so repeated stalls of one task never overlap.)
+		if rec := m.cfg.Spans; rec != nil {
+			stallStart := fl.sentAt + m.cfg.TaskTimeout.Nanoseconds()
+			if recNow := rec.Now(); stallStart < recNow {
+				rec.Add(trace.Span{
+					ID:     trace.NewSpanID(),
+					Parent: m.runSpan,
+					Name:   "cluster.stall",
+					Rank:   0,
+					Start:  stallStart,
+					Dur:    recNow - stallStart,
+					Arg:    int64(R),
+				})
+			}
 		}
 		slave := m.slots[slot]
 		m.slots = append(m.slots[:slot], m.slots[slot+1:]...)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/mpi"
+	"repro/internal/obs/trace"
 )
 
 // Protocol tags.
@@ -28,7 +29,9 @@ const (
 	tagRefused mpi.Tag = 9 // slave -> master: setup rejected (bad config)
 )
 
-// msgSetup carries everything a slave needs to start working.
+// msgSetup carries everything a slave needs to start working. Trace,
+// when non-zero, is the request's trace ID: the run is traced, and the
+// slave records per-job spans and ships them back with each result.
 type msgSetup struct {
 	Seq      []byte
 	Matrix   string // embedded exchange-matrix name (scoring.ByName)
@@ -37,15 +40,19 @@ type msgSetup struct {
 	MinScore int32
 	Lanes    uint8 // 1, 4, or 8
 	Striped  bool
+	Trace    trace.TraceID
 }
 
 // msgJob assigns one task. R is the split (scalar) or the group's first
 // split (group mode). First marks a task that has never been aligned:
 // the slave must align against the empty triangle and return the bottom
-// row(s) for the master's row store.
+// row(s) for the master's row store. Span, when non-zero, is the
+// master-side dispatch span: the slave parents its job span under it so
+// the request's trace crosses the process boundary.
 type msgJob struct {
 	R     int32
 	First bool
+	Span  trace.SpanID
 }
 
 // msgResult reports a completed task. Version is the replica version the
@@ -55,13 +62,21 @@ type msgJob struct {
 // slave-side kernel wall time (excluding row fetches) for the whole
 // task; the master attributes it across the task's members so the
 // engine's align_ns histogram stays per-alignment.
+//
+// Spans, when non-empty, is the OBT1-encoded batch of spans the slave
+// recorded for this job, with Start times on the slave's local
+// monotonic timeline; SlaveNow is that timeline's value at encode time,
+// so the master can re-base the spans onto its own timeline using the
+// link round-trip time (see master.reroot).
 type msgResult struct {
-	R       int32
-	Version int32
-	First   bool
-	AlignNS int64
-	Scores  []int32
-	Rows    [][]int32
+	R        int32
+	Version  int32
+	First    bool
+	AlignNS  int64
+	SlaveNow int64
+	Scores   []int32
+	Rows     [][]int32
+	Spans    []byte
 }
 
 // msgTop broadcasts an accepted top alignment: the replica version it
@@ -158,6 +173,18 @@ func appendBytes(b, data []byte) []byte {
 	return append(b, data...)
 }
 
+// appendU64 and (r *reader).u64 carry 64-bit values as two u32 halves,
+// matching the codec's 4-byte granularity.
+func appendU64(b []byte, v uint64) []byte {
+	b = appendU32(b, uint32(v))
+	return appendU32(b, uint32(v>>32))
+}
+
+func (r *reader) u64() uint64 {
+	lo, hi := r.u32(), r.u32()
+	return uint64(lo) | uint64(hi)<<32
+}
+
 func (m msgSetup) encode() []byte {
 	b := appendBytes(nil, m.Seq)
 	b = appendBytes(b, []byte(m.Matrix))
@@ -166,6 +193,7 @@ func (m msgSetup) encode() []byte {
 	b = appendU32(b, uint32(m.MinScore))
 	b = appendU32(b, uint32(m.Lanes))
 	b = appendBool(b, m.Striped)
+	b = appendBytes(b, m.Trace[:])
 	return b
 }
 
@@ -180,17 +208,30 @@ func decodeSetup(b []byte) (msgSetup, error) {
 	m.MinScore = r.i32()
 	m.Lanes = uint8(r.u32())
 	m.Striped = r.bool()
+	if tr := r.bytes(); r.err == nil {
+		if len(tr) != len(m.Trace) {
+			return m, fmt.Errorf("cluster: setup trace ID has %d bytes, want %d", len(tr), len(m.Trace))
+		}
+		copy(m.Trace[:], tr)
+	}
 	return m, r.err
 }
 
 func (m msgJob) encode() []byte {
 	b := appendU32(nil, uint32(m.R))
-	return appendBool(b, m.First)
+	b = appendBool(b, m.First)
+	return appendBytes(b, m.Span[:])
 }
 
 func decodeJob(b []byte) (msgJob, error) {
 	r := &reader{b: b}
 	m := msgJob{R: r.i32(), First: r.bool()}
+	if sp := r.bytes(); r.err == nil {
+		if len(sp) != len(m.Span) {
+			return m, fmt.Errorf("cluster: job span ID has %d bytes, want %d", len(sp), len(m.Span))
+		}
+		copy(m.Span[:], sp)
+	}
 	return m, r.err
 }
 
@@ -198,21 +239,21 @@ func (m msgResult) encode() []byte {
 	b := appendU32(nil, uint32(m.R))
 	b = appendU32(b, uint32(m.Version))
 	b = appendBool(b, m.First)
-	b = appendU32(b, uint32(uint64(m.AlignNS)))
-	b = appendU32(b, uint32(uint64(m.AlignNS)>>32))
+	b = appendU64(b, uint64(m.AlignNS))
 	b = appendI32s(b, m.Scores)
 	b = appendU32(b, uint32(len(m.Rows)))
 	for _, row := range m.Rows {
 		b = appendI32s(b, row)
 	}
+	b = appendU64(b, uint64(m.SlaveNow))
+	b = appendBytes(b, m.Spans)
 	return b
 }
 
 func decodeResult(b []byte) (msgResult, error) {
 	r := &reader{b: b}
 	m := msgResult{R: r.i32(), Version: r.i32(), First: r.bool()}
-	lo, hi := r.u32(), r.u32()
-	m.AlignNS = int64(uint64(lo) | uint64(hi)<<32)
+	m.AlignNS = int64(r.u64())
 	m.Scores = r.i32s()
 	n := int(r.u32())
 	if r.err == nil && n > 0 {
@@ -224,6 +265,8 @@ func decodeResult(b []byte) (msgResult, error) {
 			m.Rows[i] = r.i32s()
 		}
 	}
+	m.SlaveNow = int64(r.u64())
+	m.Spans = r.bytes()
 	return m, r.err
 }
 

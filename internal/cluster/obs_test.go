@@ -34,7 +34,7 @@ func TestClusterTelemetryEndToEnd(t *testing.T) {
 
 	reg := obs.NewRegistry()
 	jnl := obs.NewJournal(0)
-	dbg, err := obs.StartDebug("127.0.0.1:0", reg, jnl)
+	dbg, err := obs.StartDebug("127.0.0.1:0", reg, jnl, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

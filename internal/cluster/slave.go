@@ -11,6 +11,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/multialign"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/scoring"
 	"repro/internal/triangle"
 )
@@ -90,6 +91,13 @@ type slave struct {
 	striped bool
 	reg     *obs.Registry
 
+	// Tracing: when the setup carries a non-zero trace ID, each job
+	// records slave.job/slave.kernel/slave.row_fetch spans with Start
+	// times on the slave's own monotonic timeline (ns since epoch) and
+	// ships them back inside the result for the master to re-base.
+	trace trace.TraceID
+	epoch time.Time
+
 	replica atomic.Pointer[replicaState]
 	rows    *triangle.RowStore // cache of original rows
 
@@ -130,6 +138,8 @@ func newSlave(comm mpi.Comm, setup msgSetup) (*slave, error) {
 		params:     p,
 		lanes:      lanes,
 		striped:    setup.Striped,
+		trace:      setup.Trace,
+		epoch:      time.Now(),
 		rows:       triangle.NewRowStore(len(setup.Seq)),
 		quit:       make(chan struct{}),
 		rowWaiters: make(map[int]chan []int32),
@@ -260,13 +270,16 @@ func (sl *slave) deliverRow(r int, row []int32) {
 // origRow returns the original bottom row for split r, fetching it from
 // the master on a cache miss. Fetch latency (request to delivery,
 // including any re-requests) lands in the cluster/row_fetch_ns
-// histogram.
-func (sl *slave) origRow(r int) ([]int32, error) {
+// histogram, and in a slave.row_fetch span when the job is traced — a
+// cache hit records neither, so the span count stays proportional to
+// actual communication.
+func (sl *slave) origRow(r int, sc *workScratch) ([]int32, error) {
 	if row, ok := sl.rows.Get(r); ok {
 		return row, nil
 	}
 	sl.reg.Counter("cluster/row_requests").Inc()
 	fetchStart := time.Now()
+	spanStart := sl.now()
 	ch := make(chan []int32, 1)
 	sl.mu.Lock()
 	sl.rowWaiters[r] = ch
@@ -302,14 +315,40 @@ wait:
 			r, len(row), len(sl.s)-r)
 	}
 	sl.reg.Histogram("cluster/row_fetch_ns").Observe(time.Since(fetchStart))
+	sc.span("slave.row_fetch", spanStart, sl.now()-spanStart)
 	sl.rows.Put(r, row)
 	return row, nil
 }
 
-// workScratch bundles the kernel arenas one slave worker thread owns.
+// now returns the slave's local monotonic time in nanoseconds.
+func (sl *slave) now() int64 { return time.Since(sl.epoch).Nanoseconds() }
+
+// workScratch bundles the kernel arenas one slave worker thread owns,
+// plus the thread's span buffer for the job in progress. traced and job
+// are set per job by work; the kernel and row-fetch paths append child
+// spans without further coordination because one thread owns them.
 type workScratch struct {
 	a align.Scratch
 	g multialign.Scratch
+
+	traced bool
+	job    trace.SpanID // current slave.job span, parent for children
+	spans  []trace.Span
+}
+
+// span appends a completed child span of the current job (no-op when
+// the job is untraced). start is slave-local time from sl.now().
+func (sc *workScratch) span(name string, start, dur int64) {
+	if !sc.traced {
+		return
+	}
+	sc.spans = append(sc.spans, trace.Span{
+		ID:     trace.NewSpanID(),
+		Parent: sc.job,
+		Name:   name,
+		Start:  start,
+		Dur:    dur,
+	})
 }
 
 // work executes one job and reports the result. Job latency (kernel
@@ -324,6 +363,13 @@ func (sl *slave) work(job msgJob, sc *workScratch) error {
 		defer func(t0 time.Time) {
 			sl.reg.Histogram(fmt.Sprintf("cluster/job_ns/rank%d", rank)).Observe(time.Since(t0))
 		}(time.Now())
+	}
+	sc.traced = !sl.trace.IsZero() && !job.Span.IsZero()
+	sc.spans = sc.spans[:0]
+	var jobStart int64
+	if sc.traced {
+		sc.job = trace.NewSpanID()
+		jobStart = sl.now()
 	}
 	m := len(sl.s)
 	r0 := int(job.R)
@@ -351,21 +397,42 @@ func (sl *slave) work(job msgJob, sc *workScratch) error {
 			return err
 		}
 	}
+	if sc.traced {
+		// Close the job span, stamp identity onto the batch, and ship it
+		// with the result. SlaveNow is sampled as late as possible so the
+		// master's half-RTT re-basing starts from the freshest timestamp.
+		sc.spans = append(sc.spans, trace.Span{
+			ID:     sc.job,
+			Parent: job.Span,
+			Name:   "slave.job",
+			Start:  jobStart,
+			Dur:    sl.now() - jobStart,
+			Arg:    int64(job.R),
+		})
+		for i := range sc.spans {
+			sc.spans[i].Trace = sl.trace
+			sc.spans[i].Rank = int32(rank)
+		}
+		res.SlaveNow = sl.now()
+		res.Spans = trace.EncodeSpans(sc.spans)
+	}
 	return sl.comm.Send(0, tagResult, res.encode())
 }
 
 func (sl *slave) workScalar(r int, tri *triangle.Triangle, res *msgResult, sc *workScratch) error {
 	s1, s2 := sl.s[:r], sl.s[r:]
-	t0 := time.Now()
+	t0 := sl.now()
 	row := sl.score(s1, s2, tri, r, sc)
-	res.AlignNS += time.Since(t0).Nanoseconds()
+	kns := sl.now() - t0
+	res.AlignNS += kns
+	sc.span("slave.kernel", t0, kns)
 	if res.First {
 		sl.rows.Put(r, row) // Put copies; row is scratch-owned
 		res.Rows[0] = row   // encoded before the scratch is reused
 		_, res.Scores[0], _ = align.BestValidEnd(row, nil)
 		return nil
 	}
-	orig, err := sl.origRow(r)
+	orig, err := sl.origRow(r, sc)
 	if err != nil {
 		return err
 	}
@@ -374,17 +441,23 @@ func (sl *slave) workScalar(r int, tri *triangle.Triangle, res *msgResult, sc *w
 }
 
 func (sl *slave) workGroup(r0, members int, tri *triangle.Triangle, res *msgResult, sc *workScratch) error {
-	t0 := time.Now()
+	t0 := sl.now()
 	g, err := sc.g.ScoreGroupAuto(sl.params, sl.s, r0, sl.lanes, tri)
-	res.AlignNS += time.Since(t0).Nanoseconds()
+	kns := sl.now() - t0
+	res.AlignNS += kns
+	if err == nil {
+		sc.span("slave.kernel", t0, kns)
+	}
 	if err != nil {
 		// scalar fallback per member
 		for i := 0; i < members; i++ {
 			r := r0 + i
 			s1, s2 := sl.s[:r], sl.s[r:]
-			t0 := time.Now()
+			t0 := sl.now()
 			row := sl.score(s1, s2, tri, r, sc)
-			res.AlignNS += time.Since(t0).Nanoseconds()
+			kns := sl.now() - t0
+			res.AlignNS += kns
+			sc.span("slave.kernel", t0, kns)
 			if res.First {
 				sl.rows.Put(r, row)
 				// copy: the next member's kernel call reuses the arena
@@ -393,7 +466,7 @@ func (sl *slave) workGroup(r0, members int, tri *triangle.Triangle, res *msgResu
 				_, res.Scores[i], _ = align.BestValidEnd(row, nil)
 				continue
 			}
-			orig, err := sl.origRow(r)
+			orig, err := sl.origRow(r, sc)
 			if err != nil {
 				return err
 			}
@@ -410,7 +483,7 @@ func (sl *slave) workGroup(r0, members int, tri *triangle.Triangle, res *msgResu
 			_, res.Scores[i], _ = align.BestValidEnd(row, nil)
 			continue
 		}
-		orig, err := sl.origRow(r)
+		orig, err := sl.origRow(r, sc)
 		if err != nil {
 			return err
 		}

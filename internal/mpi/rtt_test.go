@@ -1,0 +1,72 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestHeartbeatRTTGaugeLifecycle checks the per-peer RTT gauges the
+// cluster layer uses for span skew correction: the gauge appears once
+// heartbeat acks flow, HeartbeatRTT reads it, and when the peer dies
+// the gauge is removed rather than left frozen at its last value (a
+// scrape must not report an RTT for a dead rank, and skew correction
+// must fall back to 0 rather than a stale figure).
+func TestHeartbeatRTTGaugeLifecycle(t *testing.T) {
+	addr := mustFreeAddr(t)
+
+	// Separate registries so the master's rank-1 gauge cannot be
+	// confused with the worker's rank-0 gauge.
+	regM, regW := obs.NewRegistry(), obs.NewRegistry()
+	optsM := fastHB()
+	optsM.Metrics = regM
+	optsW := fastHB()
+	optsW.Metrics = regW
+
+	masterCh, errCh := startMasterAsync(t, addr, 2, optsM)
+	w, err := DialTCPOpts(addr, 2*time.Second, optsW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := awaitMaster(t, masterCh, errCh)
+	defer m.Close()
+
+	// Both ends must publish an RTT once acks flow.
+	awaitGauge(t, func() int64 { return HeartbeatRTT(regM, 1) }, "master sees rank 1")
+	awaitGauge(t, func() int64 { return HeartbeatRTT(regW, 0) }, "worker sees rank 0")
+
+	// Kill the worker: the master must surface TagDown and drop the
+	// gauge (removal happens before the TagDown delivery).
+	w.Close()
+	msg := recvWithin(t, m, 3*time.Second)
+	if msg.Tag != TagDown || msg.From != 1 {
+		t.Fatalf("expected TagDown from rank 1, got %+v", msg)
+	}
+	if rtt := HeartbeatRTT(regM, 1); rtt != 0 {
+		t.Errorf("dead rank still has RTT gauge %d, want removed", rtt)
+	}
+	if _, ok := regM.Snapshot().Gauges["mpi/hb_rtt_ns/rank1"]; ok {
+		t.Error("mpi/hb_rtt_ns/rank1 still present in the snapshot after TagDown")
+	}
+
+	// Unknown ranks and nil registries read as 0 (skew correction's
+	// local-transport fallback).
+	if HeartbeatRTT(regM, 99) != 0 {
+		t.Error("unknown rank has an RTT")
+	}
+	if HeartbeatRTT(nil, 1) != 0 {
+		t.Error("nil registry has an RTT")
+	}
+}
+
+func awaitGauge(t *testing.T, read func() int64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for read() <= 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: RTT gauge never appeared", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -67,6 +67,14 @@ func hbRTT(payload []byte) int64 {
 	return rtt
 }
 
+// HeartbeatRTT returns the last measured heartbeat round-trip time to
+// rank from reg's per-peer gauges, or 0 when unknown (no TCP transport,
+// rank dead, or no echo seen yet). Package cluster uses it to
+// skew-correct span timestamps shipped from slaves.
+func HeartbeatRTT(reg *obs.Registry, rank int) int64 {
+	return reg.LookupGauge(fmt.Sprintf("mpi/hb_rtt_ns/rank%d", rank)).Load()
+}
+
 // TCPOptions tunes the failure-detection behaviour of the TCP
 // transport. A zero field selects its default; a negative
 // HeartbeatInterval or WriteTimeout disables that mechanism.
@@ -542,6 +550,9 @@ func (m *tcpMaster) reader(rank int, tc *tcpConn) {
 			m.mu.Lock()
 			m.conns[rank] = nil
 			m.mu.Unlock()
+			// The peer is gone: drop its RTT gauge so scrapes stop
+			// reporting a frozen last value for a dead rank.
+			tc.reg.RemoveGauge(fmt.Sprintf("mpi/hb_rtt_ns/rank%d", rank))
 			m.deliver(Message{From: rank, Tag: TagDown})
 			return
 		}
@@ -617,6 +628,8 @@ func (w *tcpWorker) reader() {
 		msg, err := w.conn.readFrame()
 		if err != nil {
 			w.conn.c.Close()
+			// Master link lost: its RTT gauge must not linger frozen.
+			w.conn.reg.RemoveGauge("mpi/hb_rtt_ns/rank0")
 			select {
 			case w.inbox <- Message{From: 0, Tag: TagDown}:
 			case <-w.done:

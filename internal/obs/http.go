@@ -8,14 +8,22 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
+
+	"repro/internal/obs/trace"
 )
 
 // DebugServer is the opt-in HTTP debug listener:
 //
-//	GET /metrics        JSON registry snapshot
-//	GET /trace?n=200    JSON tail of the run journal (default 200)
-//	GET /debug/pprof/*  the standard pprof handlers
+//	GET /metrics             JSON registry snapshot
+//	GET /metrics?format=prom Prometheus text exposition (also selected
+//	                         by an Accept header preferring text/plain)
+//	GET /trace?n=200         JSON tail of the run journal (default 200)
+//	GET /trace/{id}          one request trace as a span tree
+//	GET /trace/{id}?format=chrome  the same trace as Chrome trace_event
+//	                         JSON (opens directly in Perfetto)
+//	GET /debug/pprof/*       the standard pprof handlers
 //
 // It is meant for operators, not end users: StartDebug binds loopback
 // when the address has no host, and nothing authenticates requests, so
@@ -29,9 +37,64 @@ type DebugServer struct {
 	srv *http.Server
 }
 
-// StartDebug serves reg and jnl (either may be nil) on addr. An
+// WantsProm reports whether the request asks for the Prometheus text
+// exposition: ?format=prom, or an Accept header naming text/plain
+// without naming application/json first.
+func WantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	jsonAt := strings.Index(accept, "application/json")
+	plainAt := strings.Index(accept, "text/plain")
+	return plainAt >= 0 && (jsonAt < 0 || plainAt < jsonAt)
+}
+
+// HandleMetrics serves a registry snapshot with content negotiation
+// between JSON and the Prometheus text format. Shared by the debug
+// listener and the serving layer's /metrics endpoint.
+func HandleMetrics(w http.ResponseWriter, r *http.Request, reg *Registry) {
+	if WantsProm(r) {
+		w.Header().Set("Content-Type", PromContentType)
+		WritePrometheus(w, reg.Snapshot()) //nolint:errcheck // client gone mid-body
+		return
+	}
+	writeJSON(w, reg.Snapshot())
+}
+
+// HandleTraceByID serves one trace from col as a span tree (default) or
+// Chrome trace_event JSON (?format=chrome). Shared by the debug
+// listener and the serving layer.
+func HandleTraceByID(w http.ResponseWriter, r *http.Request, col *trace.Collector, id string) {
+	tid, ok := trace.ParseTraceID(id)
+	if !ok {
+		http.Error(w, "bad trace id", http.StatusBadRequest)
+		return
+	}
+	spans, dropped, ok := col.Get(tid)
+	if !ok {
+		http.Error(w, "unknown trace", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteChrome(w, spans) //nolint:errcheck
+		return
+	}
+	writeJSON(w, struct {
+		TraceID string           `json:"trace_id"`
+		Dropped uint64           `json:"dropped"`
+		Spans   []trace.SpanJSON `json:"spans"`
+		Tree    []*trace.Node    `json:"tree"`
+	}{tid.String(), dropped, trace.ToJSON(spans), trace.BuildTree(spans)})
+}
+
+// StartDebug serves reg, jnl, and col (any may be nil) on addr. An
 // address without a host part — ":9621" — binds 127.0.0.1.
-func StartDebug(addr string, reg *Registry, jnl *Journal) (*DebugServer, error) {
+func StartDebug(addr string, reg *Registry, jnl *Journal, col *trace.Collector) (*DebugServer, error) {
 	host, port, err := net.SplitHostPort(addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug address %q: %w", addr, err)
@@ -46,7 +109,7 @@ func StartDebug(addr string, reg *Registry, jnl *Journal) (*DebugServer, error) 
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, reg.Snapshot())
+		HandleMetrics(w, r, reg)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		n := 200
@@ -62,6 +125,9 @@ func StartDebug(addr string, reg *Registry, jnl *Journal) (*DebugServer, error) 
 			Dropped uint64  `json:"dropped"`
 			Events  []Event `json:"events"`
 		}{jnl.Dropped(), jnl.Tail(n)})
+	})
+	mux.HandleFunc("/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		HandleTraceByID(w, r, col, r.PathValue("id"))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -21,7 +21,7 @@ func TestDebugServerEndpoints(t *testing.T) {
 		jnl.Record(EvAccept, -1, int32(i), int64(100+i))
 	}
 
-	srv, err := StartDebug("127.0.0.1:0", reg, jnl)
+	srv, err := StartDebug("127.0.0.1:0", reg, jnl, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestDebugServerEndpoints(t *testing.T) {
 }
 
 func TestDebugServerDefaultHost(t *testing.T) {
-	srv, err := StartDebug(":0", NewRegistry(), nil)
+	srv, err := StartDebug(":0", NewRegistry(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

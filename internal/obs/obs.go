@@ -264,6 +264,30 @@ func (r *Registry) BindGauge(name string, g *Gauge) {
 	r.mu.Unlock()
 }
 
+// LookupGauge returns the named gauge without creating it (nil when
+// absent or when the registry is nil).
+func (r *Registry) LookupGauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// RemoveGauge deletes the named gauge from the registry, so snapshots
+// stop reporting it. Used for per-peer gauges whose peer is gone — a
+// dead rank's heartbeat RTT must disappear rather than freeze at its
+// last value.
+func (r *Registry) RemoveGauge(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.gauges, name)
+	r.mu.Unlock()
+}
+
 // BindHistogram registers an externally owned histogram under name.
 func (r *Registry) BindHistogram(name string, h *Histogram) {
 	if r == nil || h == nil {

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs/trace"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve/e2e_ns":           "serve_e2e_ns",
+		"mpi/hb_rtt_ns/rank2":    "mpi_hb_rtt_ns_rank2",
+		"cluster/dispatch-total": "cluster_dispatch_total",
+		"9lives":                 "_9lives",
+		"a:b":                    "a:b",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve/requests").Add(3)
+	reg.Gauge("serve/queue_depth").Set(2)
+	reg.Histogram("serve/e2e_ns").Observe(3 * time.Nanosecond) // bucket [2,4)
+	reg.Histogram("serve/e2e_ns").Observe(3 * time.Nanosecond)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE serve_requests counter\nserve_requests 3\n",
+		"# TYPE serve_queue_depth gauge\nserve_queue_depth 2\n",
+		"# TYPE serve_e2e_ns histogram\n",
+		`serve_e2e_ns_bucket{le="2"} 0`,
+		`serve_e2e_ns_bucket{le="4"} 2`,
+		`serve_e2e_ns_bucket{le="+Inf"} 2`,
+		"serve_e2e_ns_sum 6\n",
+		"serve_e2e_ns_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative le buckets must be monotonic.
+	last := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "serve_e2e_ns_bucket") {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err != nil {
+			t.Fatalf("bad bucket line %q", line)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = v
+	}
+}
+
+// TestMetricsContentNegotiation exercises the /metrics endpoint's format
+// selection: JSON by default, Prometheus text via ?format=prom or an
+// Accept header preferring text/plain.
+func TestMetricsContentNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("engine/alignments").Add(7)
+	srv, err := StartDebug("127.0.0.1:0", reg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr + "/metrics"
+
+	get := func(url, accept string) (string, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get(base, "")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("default Content-Type = %q, want JSON", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil || snap.Counters["engine/alignments"] != 7 {
+		t.Errorf("default body not a JSON snapshot: %v, %q", err, body)
+	}
+
+	body, ct = get(base+"?format=prom", "")
+	if ct != PromContentType {
+		t.Errorf("prom Content-Type = %q, want %q", ct, PromContentType)
+	}
+	if !strings.Contains(body, "engine_alignments 7") {
+		t.Errorf("prom body missing counter:\n%s", body)
+	}
+
+	if body, ct = get(base, "text/plain"); ct != PromContentType || !strings.Contains(body, "# TYPE") {
+		t.Errorf("Accept: text/plain got %q", ct)
+	}
+	// A scraper preferring JSON keeps JSON even when text/plain trails.
+	if _, ct = get(base, "application/json, text/plain"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Accept json-first got %q", ct)
+	}
+	// ?format=json overrides any Accept header.
+	if _, ct = get(base+"?format=json", "text/plain"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("format=json got %q", ct)
+	}
+}
+
+// TestTraceByIDEndpoint exercises GET /trace/{id}: the span tree with
+// its drop count, the Chrome export, and the error paths.
+func TestTraceByIDEndpoint(t *testing.T) {
+	col := trace.NewCollector(4, 8)
+	rec := col.Rec(trace.NewTraceID())
+	root := rec.Start(trace.SpanID{}, "request")
+	child := rec.Start(root.ID(), "engine")
+	child.End()
+	root.End()
+
+	srv, err := StartDebug("127.0.0.1:0", NewRegistry(), nil, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := fmt.Sprintf("http://%s/trace/", srv.Addr)
+
+	resp, err := http.Get(base + rec.TraceID().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var doc struct {
+		TraceID string           `json:"trace_id"`
+		Dropped uint64           `json:"dropped"`
+		Spans   []trace.SpanJSON `json:"spans"`
+		Tree    []*trace.Node    `json:"tree"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceID != rec.TraceID().String() || len(doc.Spans) != 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if len(doc.Tree) != 1 || doc.Tree[0].Name != "request" ||
+		len(doc.Tree[0].Children) != 1 || doc.Tree[0].Children[0].Name != "engine" {
+		t.Errorf("tree wrong: %+v", doc.Tree)
+	}
+
+	chrome, err := http.Get(base + rec.TraceID().String() + "?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chrome.Body.Close()
+	var events []map[string]any
+	if err := json.NewDecoder(chrome.Body).Decode(&events); err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	if len(events) < 3 { // 2 spans + at least one process_name metadata
+		t.Errorf("chrome export has %d events", len(events))
+	}
+
+	for path, want := range map[string]int{
+		"not-a-trace-id":            http.StatusBadRequest,
+		trace.NewTraceID().String(): http.StatusNotFound,
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s status = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSpanCodec drives DecodeSpans with arbitrary bytes: it must never
+// panic or over-allocate, and anything it accepts must re-encode to the
+// exact input (the OBT1 format has one canonical encoding, so
+// decode/encode is the identity on valid frames).
+func FuzzSpanCodec(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("OBT1"))
+	f.Add(EncodeSpans(nil))
+	f.Add(EncodeSpans([]Span{{
+		Trace: TraceID{1}, ID: SpanID{2}, Parent: SpanID{3},
+		Name: "slave.kernel", Rank: 2, Start: 123, Dur: 456, Arg: -7,
+	}}))
+	f.Add(EncodeSpans([]Span{
+		{ID: SpanID{9}, Name: "", Start: -1, Dur: 1 << 50},
+		{ID: SpanID{8}, Name: string(make([]byte, maxSpanName)), Rank: -1},
+	}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spans, err := DecodeSpans(data)
+		if err != nil {
+			return
+		}
+		re := EncodeSpans(spans)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not identity:\n in  %x\n out %x", data, re)
+		}
+		// And a second decode of the re-encoding must agree.
+		again, err := DecodeSpans(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(spans) {
+			t.Fatalf("re-decode length %d != %d", len(again), len(spans))
+		}
+		for i := range spans {
+			if again[i] != spans[i] {
+				t.Fatalf("span %d changed across round-trip", i)
+			}
+		}
+	})
+}

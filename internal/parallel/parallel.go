@@ -102,10 +102,17 @@ func Run(e *topalign.Engine, pcfg Config) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(idx int) {
 			defer wg.Done()
+			// One span per worker goroutine, covering its whole scheduling
+			// loop — constant overhead regardless of task count.
+			cfg := e.Config()
+			wsp := cfg.Spans.Start(cfg.SpanParent, "parallel.worker")
+			wsp.SetRank(cfg.SpanRank)
+			wsp.SetArg(int64(idx))
+			defer wsp.End()
 			st.worker(topalign.NewScratch())
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return st.err

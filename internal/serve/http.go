@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // maxBodyBytes bounds a request body; a 100k-residue sequence plus
@@ -21,15 +22,23 @@ const maxBodyBytes = 8 << 20
 //
 //	POST /v1/analyze   run (or cache-serve) one analysis
 //	GET  /healthz      liveness + drain state
-//	GET  /metrics      JSON metrics snapshot (when Config.Metrics set)
+//	GET  /metrics      metrics snapshot, JSON or Prometheus text
+//	                   (when Config.Metrics set)
 //	GET  /trace?n=200  journal tail (when Config.Journal set)
+//	GET  /trace/{id}   one request trace (when Config.Traces set);
+//	                   ?format=chrome for Perfetto-loadable JSON
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	if s.cfg.Metrics != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			writeJSON(w, http.StatusOK, s.cfg.Metrics.Snapshot())
+			obs.HandleMetrics(w, r, s.cfg.Metrics)
+		})
+	}
+	if s.cfg.Traces != nil {
+		mux.HandleFunc("/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+			obs.HandleTraceByID(w, r, s.cfg.Traces, r.PathValue("id"))
 		})
 	}
 	if s.jnl != nil {
@@ -99,6 +108,25 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	// Tracing: adopt the caller's W3C traceparent when one is present
+	// (the request joins the caller's trace, parented under its span),
+	// else start a fresh trace. The recorder is nil when tracing is off;
+	// every span call below then degrades to a nil check.
+	var rec *trace.Recorder
+	var parent trace.SpanID
+	if s.cfg.Traces != nil {
+		var tid trace.TraceID
+		if sc, ok := trace.ParseTraceParent(r.Header.Get("traceparent")); ok {
+			tid, parent = sc.Trace, sc.Span
+		} else {
+			tid = trace.NewTraceID()
+		}
+		rec = s.cfg.Traces.Rec(tid)
+		w.Header().Set("X-Trace-Id", tid.String())
+	}
+	root := rec.Start(parent, "request")
+	root.SetArg(int64(len(req.Sequence)))
+
 	start := time.Now()
 	j := &job{
 		req:      &req,
@@ -106,8 +134,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		seq:      s.reqSeq.Add(1),
 		enqueued: start,
 		done:     make(chan jobResult, 1),
+		rec:      rec,
+		root:     root.ID(),
+		qspan:    rec.Start(root.ID(), "queue.wait"),
 	}
 	if ok, cause := s.admit(j); !ok {
+		j.qspan.End()
+		root.End()
 		s.recordShed(j.seq, cause)
 		switch cause {
 		case obs.ShedDraining:
@@ -124,6 +157,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	select {
 	case res := <-j.done:
+		// Close the request span before measuring elapsed time, so the
+		// trace's root duration and the response's elapsed_ms agree (the
+		// CI smoke test reconciles the critical path against elapsed_ms).
+		root.End()
 		if res.err != nil {
 			if errors.Is(res.err, context.DeadlineExceeded) {
 				writeError(w, http.StatusGatewayTimeout, "deadline expired in queue")
@@ -137,6 +174,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	case <-ctx.Done():
 		// The job may still be picked up by a worker; its result (if
 		// any) lands in the cache for the retry.
+		root.End()
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
 	}
 }

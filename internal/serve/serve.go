@@ -36,6 +36,7 @@ import (
 	"repro"
 	"repro/internal/cache"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // Config sizes a Server. The zero value is usable: it serves with
@@ -62,6 +63,12 @@ type Config struct {
 	Metrics *obs.Registry
 	// Journal receives admit/batch/serve/shed events; may be nil.
 	Journal *obs.Journal
+	// Traces, when non-nil, stores per-request span traces. POST
+	// /v1/analyze then honours an incoming W3C traceparent header (or
+	// starts a fresh trace), answers with X-Trace-Id, and GET
+	// /trace/{id} serves the finished trace as a span tree or Chrome
+	// trace_event JSON.
+	Traces *trace.Collector
 }
 
 func (c Config) withDefaults() Config {
@@ -183,6 +190,13 @@ type job struct {
 	seq      int64
 	enqueued time.Time
 	done     chan jobResult // buffered: the worker never blocks on delivery
+
+	// Tracing (all nil/zero when the request is untraced). qspan is the
+	// queue.wait span: started at admission, ended by whichever side
+	// takes the job off the queue — the channel handoff orders the two.
+	rec   *trace.Recorder
+	root  trace.SpanID
+	qspan *trace.Active
 }
 
 type jobResult struct {
@@ -227,6 +241,7 @@ func (s *Server) worker() {
 	for j := range s.queue {
 		s.queueDepth.Add(-1)
 		s.admissionNS.Observe(time.Since(j.enqueued))
+		j.qspan.End()
 		if j.ctx.Err() != nil {
 			// The deadline expired while queued; the client has given
 			// up, so running the engine would be pure waste.
@@ -250,23 +265,39 @@ func (s *Server) worker() {
 // compute satisfies a job from the cache or the engine. Results are
 // cached pre-encoded: a hit serves stored bytes, so the hot path never
 // re-marshals a large report.
+//
+// The cache.lookup span wraps the whole GetOrCompute; on a miss the
+// engine span nests inside it, and the critical-path analyzer's
+// exclusive-time attribution charges only the non-engine remainder to
+// the cache. A singleflight ride-along is renamed cache.wait — the
+// time was spent waiting on another request's engine run.
 func (s *Server) compute(j *job) ([]byte, cache.Outcome, error) {
-	run := func() (any, error) {
-		rep, err := s.runEngine(j.req)
-		if err != nil {
-			return nil, err
-		}
-		return json.Marshal(rep)
-	}
 	if s.cache == nil {
+		run := func() (any, error) {
+			rep, err := s.runEngine(j.req, j.rec, j.root)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(rep)
+		}
 		v, err := run()
 		if err != nil {
 			return nil, cache.Miss, err
 		}
 		return v.([]byte), cache.Miss, nil
 	}
+	csp := j.rec.Start(j.root, "cache.lookup")
+	defer csp.End()
+	run := func() (any, error) {
+		rep, err := s.runEngine(j.req, j.rec, csp.ID())
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(rep)
+	}
 	v, outcome, err := s.cache.GetOrCompute(CacheKey(j.req), run)
 	if outcome == cache.Shared {
+		csp.SetName("cache.wait")
 		s.jnl.Record(obs.EvBatch, -1, int32(j.seq), 0)
 	}
 	if err != nil {
@@ -275,14 +306,18 @@ func (s *Server) compute(j *job) ([]byte, cache.Outcome, error) {
 	return v.([]byte), outcome, nil
 }
 
-// runEngine dispatches a canonicalised request to its backend.
-func (s *Server) runEngine(req *Request) (*repro.Report, error) {
+// runEngine dispatches a canonicalised request to its backend. rec and
+// parent thread the request's trace into the engine (both may be
+// nil/zero).
+func (s *Server) runEngine(req *Request, rec *trace.Recorder, parent trace.SpanID) (*repro.Report, error) {
 	opt := repro.Options{
 		Matrix:  req.Matrix,
 		GapOpen: req.GapOpen, GapExt: req.GapExt,
 		NumTops: req.Tops, MinScore: req.MinScore, MinPairs: req.MinPairs,
 		Lanes: req.Lanes, Striped: req.Striped,
 		Speculative: req.Speculative,
+		Spans:       rec,
+		SpanParent:  parent,
 	}
 	switch req.Backend {
 	case BackendParallel:

@@ -228,6 +228,10 @@ func (e *Engine) AcceptTop(r int) (TopAlignment, error) {
 // in the triangle, and records the result. The returned alignment's
 // pairs are in global coordinates.
 func (e *Engine) AcceptTopS(r int, sc *Scratch) (TopAlignment, error) {
+	sp := e.cfg.Spans.Start(e.cfg.SpanParent, "engine.accept")
+	sp.SetRank(e.cfg.SpanRank)
+	sp.SetArg(int64(r))
+	defer sp.End()
 	s1, s2 := e.s[:r], e.s[r:]
 	orig, have := e.orig.Get(r)
 	if !have {

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/stats"
 )
 
@@ -85,6 +86,14 @@ type Config struct {
 	// shadow-reject, speculation-waste) so a run can be traced and
 	// replayed; may be nil.
 	Trace *obs.Journal
+	// Spans, when non-nil, records request-scoped trace spans: one
+	// engine.accept span per accepted top alignment, parented under
+	// SpanParent and stamped with SpanRank. Bounded by NumTops, so a
+	// traced run adds no per-task recording cost. Whoever sets Spans
+	// sets SpanRank too (-1 local/server, 0 cluster master).
+	Spans      *trace.Recorder
+	SpanParent trace.SpanID
+	SpanRank   int32
 }
 
 // withDefaults validates and normalises a Config.

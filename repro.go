@@ -26,6 +26,7 @@ import (
 	"repro/internal/align"
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/parallel"
 	"repro/internal/repeats"
 	"repro/internal/scoring"
@@ -80,6 +81,13 @@ type Options struct {
 	// accept, shadow-reject, speculation-waste) so the run can be
 	// traced and replayed.
 	Trace *obs.Journal
+	// Spans, when non-nil, records request-scoped trace spans: an
+	// engine span wrapping the top-alignment computation, with
+	// engine/cluster/worker child spans beneath it (see
+	// internal/obs/trace). SpanParent, when non-zero, parents the
+	// engine span — the serving layer passes its request span here.
+	Spans      *trace.Recorder
+	SpanParent trace.SpanID
 }
 
 // Pair is a matched residue pair (global 1-based positions, I < J).
@@ -207,6 +215,11 @@ func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error
 	}
 	counters := &stats.Counters{}
 	counters.Bind(opt.Metrics)
+	// The engine span wraps the whole top-alignment computation; the
+	// engine-specific children (cluster.run, parallel.worker,
+	// engine.accept) nest under it. Nil-safe throughout: an untraced
+	// request costs one nil check per instrumentation point.
+	esp := opt.Spans.Start(opt.SpanParent, "engine")
 	cfg := topalign.Config{
 		Params:     align.Params{Exch: exch, Gap: gap},
 		NumTops:    numTops,
@@ -215,6 +228,9 @@ func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error
 		Striped:    opt.Striped,
 		Counters:   counters,
 		Trace:      opt.Trace,
+		Spans:      opt.Spans,
+		SpanParent: esp.ID(),
+		SpanRank:   -1,
 	}
 
 	var (
@@ -224,7 +240,8 @@ func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error
 	switch {
 	case opt.Slaves > 0:
 		res, err = cluster.RunLocal(q.Codes,
-			cluster.Config{Top: cfg, Speculative: opt.Speculative, Metrics: opt.Metrics},
+			cluster.Config{Top: cfg, Speculative: opt.Speculative, Metrics: opt.Metrics,
+				Spans: opt.Spans, SpanParent: esp.ID()},
 			cluster.LocalSpec{Slaves: opt.Slaves, ThreadsPerSlave: opt.ThreadsPerSlave})
 	case opt.Workers > 1:
 		res, err = parallel.Find(q.Codes, cfg,
@@ -232,6 +249,7 @@ func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error
 	default:
 		res, err = topalign.Find(q.Codes, cfg)
 	}
+	esp.End()
 	if err != nil {
 		return nil, err
 	}
