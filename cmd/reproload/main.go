@@ -25,6 +25,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"sort"
@@ -35,6 +36,7 @@ import (
 
 	"repro"
 	"repro/internal/atomicfile"
+	"repro/internal/jobstore"
 	"repro/internal/obs"
 	"repro/internal/seq"
 	"repro/internal/serve"
@@ -54,6 +56,7 @@ func main() {
 		verify   = flag.Bool("verify", true, "differentially verify every response against a local run")
 		workers  = flag.Int("workers", 0, "(with -self) server worker pool size")
 		queue    = flag.Int("queue", 0, "(with -self) server queue depth")
+		jobsN    = flag.Int("jobs", 0, "exercise the async job API first: submit N durable jobs, poll to completion, verify")
 		outP     = flag.String("out", "-", "output JSON path (- for stdout)")
 	)
 	flag.Parse()
@@ -93,6 +96,13 @@ func main() {
 	tr := &http.Transport{MaxIdleConns: *clients * 2, MaxIdleConnsPerHost: *clients * 2}
 	client := &http.Client{Transport: tr}
 	base := "http://" + *addr
+
+	// Async-job phase (before the cold warmup, so jobs take the cold
+	// path): submit, poll to terminal state, verify against truth.
+	var jobsDone, jobsDeduped int64
+	if *jobsN > 0 {
+		jobsDone, jobsDeduped = runJobsPhase(client, base, pool, truth, *tops, *backend, *jobsN)
+	}
 
 	var (
 		wg          sync.WaitGroup
@@ -254,6 +264,8 @@ func main() {
 		CacheShared: cacheCounts["shared"],
 		Verified:    *verify,
 		Divergences: divergences.Load(),
+		JobsDone:    jobsDone,
+		JobsDeduped: jobsDeduped,
 	}
 	if n > 0 {
 		doc.CacheHitRate = float64(hits) / float64(n)
@@ -322,6 +334,9 @@ type output struct {
 	Verified    bool  `json:"verified"`
 	Divergences int64 `json:"divergences"`
 
+	JobsDone    int64 `json:"jobs_done,omitempty"`
+	JobsDeduped int64 `json:"jobs_deduped,omitempty"`
+
 	ServerQueueDepthMax  int64 `json:"server_queue_depth_last"`
 	ServerCacheEvictions int64 `json:"server_cache_evictions"`
 	ServerEngineCells    int64 `json:"server_engine_cells"`
@@ -385,6 +400,78 @@ func retryAfter(resp *http.Response) time.Duration {
 	return d
 }
 
+// runJobsPhase drives the durable async API: n submissions round-robin
+// over the sequence pool, polled to a terminal state and differentially
+// verified like the synchronous responses. Identical in-flight
+// submissions are expected to dedup into one job.
+func runJobsPhase(client *http.Client, base string, pool []*seq.Sequence, truth []*repro.Report, tops int, backend string, n int) (done, deduped int64) {
+	type pending struct {
+		id  string
+		idx int
+	}
+	var jobs []pending
+	for i := 0; i < n; i++ {
+		idx := i % len(pool)
+		q := pool[idx]
+		body, _ := json.Marshal(serve.Request{
+			ID: q.ID, Sequence: q.String(),
+			Params: serve.Params{Tops: tops}, Backend: backend,
+		})
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fatal(fmt.Errorf("job submit %d: %w", i, err))
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			fatal(fmt.Errorf("server has no job API; run reproserve with -data"))
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			fatal(fmt.Errorf("job submit %d: status %d: %.200s", i, resp.StatusCode, raw))
+		}
+		var st serve.JobStatus
+		if err := json.Unmarshal(raw, &st); err != nil {
+			fatal(fmt.Errorf("job submit %d: %w", i, err))
+		}
+		if st.Deduped {
+			deduped++
+		}
+		jobs = append(jobs, pending{st.JobID, idx})
+	}
+	deadline := time.Now().Add(5 * time.Minute)
+	for _, j := range jobs {
+		for {
+			if time.Now().After(deadline) {
+				fatal(fmt.Errorf("job %s did not finish", j.id))
+			}
+			resp, err := client.Get(base + "/v1/jobs/" + j.id)
+			if err != nil {
+				fatal(fmt.Errorf("job poll %s: %w", j.id, err))
+			}
+			var st serve.JobStatus
+			perr := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if perr != nil {
+				fatal(fmt.Errorf("job poll %s: %w", j.id, perr))
+			}
+			if st.State == "failed" {
+				fatal(fmt.Errorf("job %s failed: %s", j.id, st.Error))
+			}
+			if st.State == "done" && len(st.Report) > 0 {
+				var rep repro.Report
+				if json.Unmarshal(st.Report, &rep) != nil || (truth != nil && !sameAnalysis(truth[j.idx], &rep)) {
+					fatal(fmt.Errorf("job %s result diverges from the local sequential run", j.id))
+				}
+				done++
+				break
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "reproload: jobs %d submitted, %d deduped, %d verified done\n", n, deduped, done)
+	return done, deduped
+}
+
 func scrapeMetrics(client *http.Client, base string) (*obs.Snapshot, error) {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
@@ -398,18 +485,32 @@ func scrapeMetrics(client *http.Client, base string) (*obs.Snapshot, error) {
 	return &snap, nil
 }
 
-// startSelf runs an in-process reproserve on an ephemeral port.
+// startSelf runs an in-process reproserve on an ephemeral port, with
+// the durable job API backed by a throwaway data dir so -jobs works
+// without an external daemon.
 func startSelf(workers, queue int) (addr string, shutdown func(), err error) {
+	dataDir, err := os.MkdirTemp("", "reproload-data-*")
+	if err != nil {
+		return "", nil, err
+	}
+	jobs, err := jobstore.Open(filepath.Join(dataDir, "jobs"), nil)
+	if err != nil {
+		os.RemoveAll(dataDir) //nolint:errcheck
+		return "", nil, err
+	}
 	reg := obs.NewRegistry()
 	srv := serve.New(serve.Config{
 		Workers:    workers,
 		QueueDepth: queue,
+		Jobs:       jobs,
 		Metrics:    reg,
 		Journal:    obs.NewJournal(0),
 	})
 	srv.Start()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		jobs.Close()          //nolint:errcheck
+		os.RemoveAll(dataDir) //nolint:errcheck
 		return "", nil, err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
@@ -419,6 +520,8 @@ func startSelf(workers, queue int) (addr string, shutdown func(), err error) {
 		defer cancel()
 		httpSrv.Shutdown(ctx) //nolint:errcheck
 		srv.Drain(ctx)        //nolint:errcheck
+		jobs.Close()          //nolint:errcheck
+		os.RemoveAll(dataDir) //nolint:errcheck
 	}
 	return ln.Addr().String(), shutdown, nil
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/seq"
+)
+
+// TestJobsPhaseAgainstSelf drives the real helpers end to end: an
+// in-process durable server, the async-job phase (submit, dedup, poll,
+// verify), and a metrics scrape.
+func TestJobsPhaseAgainstSelf(t *testing.T) {
+	addr, shutdown, err := startSelf(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	pool := []*seq.Sequence{seq.SyntheticTitin(120, 1), seq.SyntheticTitin(120, 2)}
+	truth := make([]*repro.Report, len(pool))
+	for i, q := range pool {
+		truth[i], err = repro.Analyze(q.ID, q.String(), repro.Options{NumTops: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	client := &http.Client{}
+	base := "http://" + addr
+	done, _ := runJobsPhase(client, base, pool, truth, 3, "sequential", 4)
+	if done != 4 {
+		t.Fatalf("jobs done = %d, want 4", done)
+	}
+	snap, err := scrapeMetrics(client, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["serve/jobs_completed"] == 0 {
+		t.Error("no completed jobs in the metrics snapshot")
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	q := summarise([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if q.N != 10 || q.Mean != 5.5 || q.P50 != 5 || q.Max != 10 {
+		t.Errorf("quantiles = %+v", q)
+	}
+	if z := summarise(nil); z.N != 0 {
+		t.Errorf("empty quantiles = %+v", z)
+	}
+}
+
+func TestSameAnalysis(t *testing.T) {
+	q := seq.SyntheticTitin(100, 3)
+	rep, err := repro.Analyze(q.ID, q.String(), repro.Options{NumTops: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameAnalysis(rep, rep) {
+		t.Error("report does not match itself")
+	}
+	if sameAnalysis(rep, nil) {
+		t.Error("nil report matched")
+	}
+	other := *rep
+	other.SeqLen++
+	if sameAnalysis(rep, &other) {
+		t.Error("different SeqLen matched")
+	}
+}
+
+func TestRetryAfterHeader(t *testing.T) {
+	resp := &http.Response{Header: http.Header{}}
+	if d := retryAfter(resp); d != 100*time.Millisecond {
+		t.Errorf("default backoff = %v", d)
+	}
+	resp.Header.Set("Retry-After", "7")
+	if d := retryAfter(resp); d != 250*time.Millisecond {
+		t.Errorf("capped backoff = %v", d)
+	}
+}

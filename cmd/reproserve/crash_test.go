@@ -1,0 +1,290 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/seq"
+	"repro/internal/serve"
+)
+
+// This file is the end-to-end durability test: a real reproserve
+// process, a real SIGKILL, a real restart. The driver asserts the 202
+// contract — a journaled job survives an uncontrolled crash, is
+// recovered on the next boot, and completes with a result identical
+// to a local sequential run — and that a corrupted disk-cache file is
+// quarantined and recomputed, never served.
+
+// daemon is one reproserve incarnation under test control.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "reproserve")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon launches the binary on an ephemeral port and waits for
+// the listening line plus a healthy /healthz.
+func startDaemon(t *testing.T, bin, dataDir string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2", "-data", dataDir)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill() //nolint:errcheck
+			cmd.Wait()         //nolint:errcheck
+		}
+	})
+
+	// The daemon announces its ephemeral port on stderr:
+	//	reproserve: listening on 127.0.0.1:41234
+	addrCh := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		var acc []byte
+		for {
+			n, err := stderr.Read(buf)
+			acc = append(acc, buf[:n]...)
+			if i := bytes.Index(acc, []byte("listening on ")); i >= 0 {
+				if j := bytes.IndexByte(acc[i:], '\n'); j >= 0 {
+					line := string(acc[i : i+j])
+					addrCh <- strings.TrimPrefix(line, "listening on ")
+					break
+				}
+			}
+			if err != nil {
+				addrCh <- ""
+				break
+			}
+		}
+		io.Copy(io.Discard, stderr) //nolint:errcheck
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never announced its address")
+	}
+	if addr == "" {
+		t.Fatal("daemon exited before listening")
+	}
+
+	d := &daemon{cmd: cmd, addr: addr}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.url("/healthz"))
+		if err == nil {
+			resp.Body.Close()
+			return d
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("daemon never became healthy")
+	return nil
+}
+
+func (d *daemon) url(path string) string { return "http://" + d.addr + path }
+
+func (d *daemon) sigkill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Wait() //nolint:errcheck
+}
+
+func (d *daemon) sigterm(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("daemon did not drain cleanly: %v", err)
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, out
+}
+
+func getJobStatus(t *testing.T, d *daemon, id string) serve.JobStatus {
+	t.Helper()
+	resp, err := http.Get(d.url("/v1/jobs/" + id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitDone(t *testing.T, d *daemon, id string) serve.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st := getJobStatus(t, d, id)
+		if st.State == "failed" {
+			t.Fatalf("job %s failed: %s", id, st.Error)
+		}
+		if st.State == "done" && len(st.Report) > 0 {
+			return st
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return serve.JobStatus{}
+}
+
+// assertSameAnalysis compares analysis content (not engine stats,
+// which legitimately vary across backends).
+func assertSameAnalysis(t *testing.T, want *repro.Report, gotRaw json.RawMessage, what string) {
+	t.Helper()
+	var got repro.Report
+	if err := json.Unmarshal(gotRaw, &got); err != nil {
+		t.Fatalf("%s: bad report: %v", what, err)
+	}
+	if want.SeqLen != got.SeqLen || !reflect.DeepEqual(want.Tops, got.Tops) || !reflect.DeepEqual(want.Families, got.Families) {
+		t.Fatalf("%s: report diverges from local sequential run", what)
+	}
+}
+
+func scrapeCounter(t *testing.T, d *daemon, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(d.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap.Counters[name]
+}
+
+func TestCrashRecoveryAndDiskCorruption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives a real daemon")
+	}
+	bin := buildDaemon(t)
+	dataDir := t.TempDir()
+
+	// Local ground truth: the strict sequential engine. 1500 residues
+	// keeps a cold cluster analysis in the multi-second range — slow
+	// enough that the SIGKILL below lands mid-computation, fast enough
+	// for CI.
+	q := seq.SyntheticTitin(1500, 7)
+	truth, err := repro.Analyze(q.ID, q.String(), repro.Options{NumTops: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobReq := serve.Request{
+		ID: q.ID, Sequence: q.String(),
+		Params:  serve.Params{Tops: 5},
+		Backend: serve.BackendCluster, Slaves: 2,
+	}
+
+	// Incarnation 1: submit a cold cluster-backend job, give the worker
+	// a moment to claim it, then SIGKILL mid-analysis.
+	d1 := startDaemon(t, bin, dataDir)
+	code, raw := postJSON(t, d1.url("/v1/jobs"), jobReq)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %.200s", code, raw)
+	}
+	var sub serve.JobStatus
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	d1.sigkill(t)
+
+	// Incarnation 2: the journaled job must be recovered and complete
+	// with the exact analysis a local sequential run produces.
+	d2 := startDaemon(t, bin, dataDir)
+	done := waitDone(t, d2, sub.JobID)
+	assertSameAnalysis(t, truth, done.Report, "recovered job")
+
+	// Clean shutdown, then corrupt the job's result in the disk tier.
+	d2.sigterm(t)
+	cacheDir := filepath.Join(dataDir, "cache")
+	files, err := filepath.Glob(filepath.Join(cacheDir, "*.res"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no persisted cache files in %s (err=%v)", cacheDir, err)
+	}
+	blob, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x40
+	if err := os.WriteFile(files[0], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation 3: the corrupted entry must be detected, quarantined,
+	// and the job recomputed — the flipped bytes are never served.
+	d3 := startDaemon(t, bin, dataDir)
+	st := getJobStatus(t, d3, sub.JobID)
+	if st.State == "done" && len(st.Report) > 0 {
+		// Prewarm can only have served a checksum-clean entry; make
+		// sure the corrupt one was counted, not trusted.
+		assertSameAnalysis(t, truth, st.Report, "post-corruption fetch")
+	}
+	final := waitDone(t, d3, sub.JobID)
+	assertSameAnalysis(t, truth, final.Report, "recomputed job")
+	if n := scrapeCounter(t, d3, "cache/disk_corrupt"); n < 1 {
+		t.Errorf("cache/disk_corrupt = %d, want >= 1", n)
+	}
+	bad, _ := filepath.Glob(filepath.Join(cacheDir, "*.bad"))
+	if len(bad) == 0 {
+		t.Error("corrupted cache file was not quarantined to .bad")
+	}
+	d3.sigterm(t)
+
+	// The quarantine file never rejoins the cache: a fourth boot still
+	// serves the recomputed, checksum-clean result.
+	d4 := startDaemon(t, bin, dataDir)
+	again := waitDone(t, d4, sub.JobID)
+	assertSameAnalysis(t, truth, again.Report, "post-quarantine fetch")
+	d4.sigterm(t)
+}

@@ -4,8 +4,14 @@
 // content-addressed LRU result cache with singleflight dedup, and
 // graceful drain on SIGTERM (see DESIGN.md section 9).
 //
-//	reproserve -addr :8080 -workers 8 -queue 64 -cache 512
+// With -data DIR the daemon becomes durable (DESIGN.md section 12):
+// results persist in a checksummed disk cache tier that survives
+// restarts, and POST /v1/jobs journals work in a write-ahead job
+// store so accepted jobs survive even SIGKILL.
+//
+//	reproserve -addr :8080 -workers 8 -queue 64 -cache 512 -data /var/lib/repro
 //	curl -s localhost:8080/v1/analyze -d '{"sequence":"ATGCATGCATGC","matrix":"paper-dna","tops":3}'
+//	curl -s localhost:8080/v1/jobs -d '{"sequence":"ATGCATGCATGC","matrix":"paper-dna","tops":3}'
 //	curl -s localhost:8080/metrics
 package main
 
@@ -18,9 +24,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"repro/internal/cache"
+	"repro/internal/jobstore"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/serve"
@@ -36,6 +45,9 @@ func main() {
 		maxSeq  = flag.Int("max-seq", 100000, "maximum sequence length admitted")
 		drainT  = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for queued work")
 		traces  = flag.Int("traces", trace.DefaultMaxTraces, "request traces retained for /trace/{id} (0 = default, -1 = disable)")
+		dataDir = flag.String("data", "", "durability dir: persistent disk cache + crash-safe job journal (empty = in-memory only)")
+		cacheB  = flag.Int64("cache-bytes", 0, "result cache byte budget (0 = default)")
+		jobW    = flag.Int("job-workers", 0, "async job worker pool size (0 = default)")
 	)
 	flag.Parse()
 
@@ -45,12 +57,29 @@ func main() {
 	if *traces >= 0 {
 		col = trace.NewCollector(*traces, 0)
 	}
+	var disk *cache.Disk
+	var jobs *jobstore.Store
+	if *dataDir != "" {
+		var err error
+		if disk, err = cache.OpenDisk(filepath.Join(*dataDir, "cache"), nil); err != nil {
+			fatal(fmt.Errorf("open disk cache: %w", err))
+		}
+		jobs, err = jobstore.Open(filepath.Join(*dataDir, "jobs"), nil)
+		if err != nil {
+			fatal(fmt.Errorf("open job store: %w", err))
+		}
+		defer jobs.Close() //nolint:errcheck // compaction is best-effort on exit
+	}
 	srv := serve.New(serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
 		MaxSequenceLen: *maxSeq,
 		CacheEntries:   *cacheN,
+		CacheBytes:     *cacheB,
+		Disk:           disk,
+		Jobs:           jobs,
+		JobWorkers:     *jobW,
 		Metrics:        reg,
 		Journal:        jnl,
 		Traces:         col,

@@ -1,0 +1,195 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"repro/internal/atomicfile"
+)
+
+func TestTransparentWhenZero(t *testing.T) {
+	dir := t.TempDir()
+	fsys := Wrap(atomicfile.OS(), Config{})
+	path := filepath.Join(dir, "a")
+	if err := fsys.WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsys.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	af, err := fsys.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := af.Write([]byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := af.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := af.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fsys.ReadFile(path)
+	if string(got) != "hello world" {
+		t.Fatalf("after append: %q", got)
+	}
+	if s := fsys.Stats(); s != (Stats{}) {
+		t.Fatalf("zero config injected faults: %+v", s)
+	}
+}
+
+func TestTornWriteLeavesStrictPrefix(t *testing.T) {
+	dir := t.TempDir()
+	fsys := Wrap(atomicfile.OS(), Config{Seed: 7, TornWriteProb: 1})
+	path := filepath.Join(dir, "wal")
+	af, err := fsys.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record := bytes.Repeat([]byte{0xAB}, 100)
+	n, err := af.Write(record)
+	if err == nil {
+		t.Fatal("torn write reported success")
+	}
+	if n >= len(record) {
+		t.Fatalf("torn write persisted %d of %d bytes, want a strict prefix", n, len(record))
+	}
+	af.Close()
+	onDisk, _ := os.ReadFile(path)
+	if len(onDisk) != n || !bytes.Equal(onDisk, record[:n]) {
+		t.Fatalf("on disk %d bytes, reported %d", len(onDisk), n)
+	}
+	if fsys.Stats().TornWrites != 1 {
+		t.Fatalf("stats: %+v", fsys.Stats())
+	}
+}
+
+func TestBitFlipCorruptsExactlyOneBit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	orig := bytes.Repeat([]byte{0x55}, 64)
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsys := Wrap(atomicfile.OS(), Config{Seed: 3, BitFlipProb: 1})
+	got, err := fsys.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^orig[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("flipped %d bits, want exactly 1", diff)
+	}
+	// The file itself is untouched: corruption is injected on read.
+	onDisk, _ := os.ReadFile(path)
+	if !bytes.Equal(onDisk, orig) {
+		t.Fatal("bit flip mutated the underlying file")
+	}
+}
+
+func TestWriteBudgetENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	fsys := Wrap(atomicfile.OS(), Config{WriteBudget: 10})
+	// First write fits.
+	if err := fsys.WriteFile(filepath.Join(dir, "a"), []byte("12345"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Second exceeds the budget: ENOSPC, and the atomic contract means
+	// the destination does not exist afterwards.
+	err := fsys.WriteFile(filepath.Join(dir, "b"), []byte("1234567890"), 0o644)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if _, serr := os.Stat(filepath.Join(dir, "b")); !os.IsNotExist(serr) {
+		t.Fatal("failed atomic write left a destination file")
+	}
+	if s := fsys.Stats(); s.NoSpace != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+
+	// Appends hit the same budget: the bytes that still fit reach the
+	// disk (a partial record — exactly what a full disk does to a WAL).
+	fsys = Wrap(atomicfile.OS(), Config{WriteBudget: 10})
+	af, err := fsys.OpenAppend(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := af.Write([]byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	n, werr := af.Write([]byte("abcdefgh"))
+	if !errors.Is(werr, syscall.ENOSPC) {
+		t.Fatalf("append err = %v, want ENOSPC", werr)
+	}
+	if n != 2 { // 10-byte budget minus the 8 already appended
+		t.Fatalf("append persisted %d bytes, want 2", n)
+	}
+	af.Close()
+	onDisk, _ := os.ReadFile(filepath.Join(dir, "wal"))
+	if string(onDisk) != "12345678ab" {
+		t.Fatalf("wal contents %q", onDisk)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	run := func() (torn []int) {
+		dir := t.TempDir()
+		fsys := Wrap(atomicfile.OS(), Config{Seed: 42, TornWriteProb: 0.5})
+		af, _ := fsys.OpenAppend(filepath.Join(dir, "wal"))
+		defer af.Close()
+		for i := 0; i < 20; i++ {
+			n, err := af.Write(bytes.Repeat([]byte{byte(i)}, 32))
+			if err != nil {
+				torn = append(torn, n)
+			}
+		}
+		return torn
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no torn writes at prob 0.5 over 20 records")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestPassthroughOps(t *testing.T) {
+	dir := t.TempDir()
+	fs := Wrap(atomicfile.OS(), Config{})
+	p := filepath.Join(dir, "f")
+	if err := fs.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "f" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fs.Remove(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("file survived Remove: %v", err)
+	}
+	if _, err := fs.ReadFile(p); err == nil {
+		t.Fatal("read of removed file succeeded")
+	}
+}

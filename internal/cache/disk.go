@@ -1,0 +1,219 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/atomicfile"
+	"repro/internal/obs"
+)
+
+// Disk is the persistent tier under the in-memory LRU: one
+// content-addressed file per entry, written atomically, with a
+// SHA-256 footer verified on every read. Corruption is never served —
+// a file whose checksum does not match is quarantined under a ".bad"
+// suffix, counted, and treated as a miss, so the worst a flipped bit
+// can cost is a recompute. Warm state therefore survives restarts
+// (and SIGKILL: atomic writes mean a crash mid-Put leaves either the
+// old file or no file, never a torn one).
+//
+// File layout: [4B big-endian key length][key][value][32B SHA-256 over
+// everything before the footer]. Embedding the key makes the directory
+// self-describing, which is what lets Scan pre-warm the LRU after a
+// restart without an index file.
+type Disk struct {
+	dir  string
+	fsys atomicfile.FS
+
+	hits     obs.Counter
+	misses   obs.Counter
+	corrupt  obs.Counter
+	writes   obs.Counter
+	writeErr obs.Counter
+}
+
+const diskSuffix = ".res"
+
+// OpenDisk opens (creating if needed) a disk tier rooted at dir.
+// fsys nil selects the real filesystem; tests inject faultfs.
+func OpenDisk(dir string, fsys atomicfile.FS) (*Disk, error) {
+	if fsys == nil {
+		fsys = atomicfile.OS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: disk tier: %w", err)
+	}
+	return &Disk{dir: dir, fsys: fsys}, nil
+}
+
+// Bind registers the tier's counters in reg under the cache/disk_*
+// names. No-op when either side is nil.
+func (d *Disk) Bind(reg *obs.Registry) {
+	if d == nil || reg == nil {
+		return
+	}
+	reg.BindCounter("cache/disk_hits", &d.hits)
+	reg.BindCounter("cache/disk_misses", &d.misses)
+	reg.BindCounter("cache/disk_corrupt", &d.corrupt)
+	reg.BindCounter("cache/disk_writes", &d.writes)
+	reg.BindCounter("cache/disk_write_errors", &d.writeErr)
+}
+
+// path maps a cache key to its file. Keys from the serving layer are
+// already lowercase hex; anything else is re-addressed through SHA-256
+// so arbitrary keys cannot escape the directory.
+func (d *Disk) path(key string) string {
+	safe := len(key) > 0 && len(key) <= 128
+	for i := 0; safe && i < len(key); i++ {
+		c := key[i]
+		safe = c == '-' || c == '_' ||
+			('0' <= c && c <= '9') || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+	}
+	if !safe {
+		sum := sha256.Sum256([]byte(key))
+		key = hex.EncodeToString(sum[:])
+	}
+	return filepath.Join(d.dir, key+diskSuffix)
+}
+
+// encode frames key+val with the checksum footer.
+func encode(key string, val []byte) []byte {
+	buf := make([]byte, 0, 4+len(key)+len(val)+sha256.Size)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = append(buf, val...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// decode verifies the footer and recovers (key, val). ok is false for
+// any framing or checksum failure.
+func decode(data []byte) (key string, val []byte, ok bool) {
+	if len(data) < 4+sha256.Size {
+		return "", nil, false
+	}
+	body, foot := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if sha256.Sum256(body) != [sha256.Size]byte(foot) {
+		return "", nil, false
+	}
+	klen := binary.BigEndian.Uint32(body)
+	if int64(4)+int64(klen) > int64(len(body)) {
+		return "", nil, false
+	}
+	return string(body[4 : 4+klen]), body[4+klen:], true
+}
+
+// Get returns the stored value for key. A missing file is a plain
+// miss; a present-but-corrupt file is quarantined (renamed to
+// <name>.bad), counted under cache/disk_corrupt, and reported as a
+// miss — corrupt bytes are never returned.
+func (d *Disk) Get(key string) ([]byte, bool) {
+	if d == nil {
+		return nil, false
+	}
+	path := d.path(key)
+	data, err := d.fsys.ReadFile(path)
+	if err != nil {
+		d.misses.Inc()
+		return nil, false
+	}
+	storedKey, val, ok := decode(data)
+	if !ok || storedKey != key {
+		d.quarantine(path)
+		d.misses.Inc()
+		return nil, false
+	}
+	d.hits.Inc()
+	return val, true
+}
+
+// Put stores val under key, atomically. Errors (e.g. ENOSPC) are
+// counted and returned; the tier degrades to a smaller working set
+// rather than poisoning the directory.
+func (d *Disk) Put(key string, val []byte) error {
+	if d == nil {
+		return nil
+	}
+	if err := d.fsys.WriteFile(d.path(key), encode(key, val), 0o644); err != nil {
+		d.writeErr.Inc()
+		return err
+	}
+	d.writes.Inc()
+	return nil
+}
+
+// quarantine moves a corrupt file aside so it is kept for post-mortems
+// but can never be served; if even the rename fails, the file is
+// removed outright.
+func (d *Disk) quarantine(path string) {
+	d.corrupt.Inc()
+	if err := d.fsys.Rename(path, path+".bad"); err != nil {
+		d.fsys.Remove(path) //nolint:errcheck // already corrupt; best effort
+	}
+}
+
+// Scan verifies every entry in the tier and calls fn(key, val) for
+// each good one, quarantining corrupt files as it goes. fn returning
+// false stops the scan. Used to pre-warm the in-memory LRU on restart.
+func (d *Disk) Scan(fn func(key string, val []byte) bool) error {
+	if d == nil {
+		return nil
+	}
+	ents, err := d.fsys.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("cache: disk scan: %w", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), diskSuffix) {
+			continue
+		}
+		path := filepath.Join(d.dir, e.Name())
+		data, err := d.fsys.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		key, val, ok := decode(data)
+		if !ok {
+			d.quarantine(path)
+			continue
+		}
+		if !fn(key, val) {
+			break
+		}
+	}
+	return nil
+}
+
+// Len counts the (unverified) entries on disk, excluding quarantined
+// files. Used by tests and the stats endpoint.
+func (d *Disk) Len() int {
+	if d == nil {
+		return 0
+	}
+	ents, err := d.fsys.ReadDir(d.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), diskSuffix) {
+			n++
+		}
+	}
+	return n
+}
+
+// Dir returns the tier's root directory.
+func (d *Disk) Dir() string {
+	if d == nil {
+		return ""
+	}
+	return d.dir
+}
+
+// CorruptCount returns how many corrupt files have been quarantined.
+func (d *Disk) CorruptCount() int64 { return d.corrupt.Load() }

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/obs"
+)
+
+// TestDiskTierSurvivesRestart exercises the serving layer's persistent
+// cache tier: results computed by one incarnation are served from disk
+// by the next, with the "disk" outcome surfaced when the entry is not
+// already prewarmed into memory.
+func TestDiskTierSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	reqA := Request{Sequence: "ATGCATGCATGCATGC", Params: Params{Matrix: "paper-dna", Tops: 2}}
+	reqB := Request{Sequence: "TTTTAAAATTTTAAAA", Params: Params{Matrix: "paper-dna", Tops: 2}}
+
+	run := func(disk *cache.Disk) (*Server, *httptest.Server, func()) {
+		s := New(Config{Workers: 1, CacheEntries: 1, Disk: disk, Metrics: obs.NewRegistry()})
+		s.Start()
+		ts := httptest.NewServer(s.Handler())
+		stop := func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			s.Drain(ctx) //nolint:errcheck
+		}
+		return s, ts, stop
+	}
+
+	disk1, err := cache.OpenDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, ts1, stop1 := run(disk1)
+	if s1.Cache() == nil || s1.Cache().Disk() != disk1 {
+		t.Fatal("disk tier not attached")
+	}
+	var reports [2]json.RawMessage
+	for i, req := range []Request{reqA, reqB} {
+		resp, raw := post(t, ts1.URL, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+		reports[i] = decode(t, raw).Report
+	}
+	stop1()
+	if disk1.Len() != 2 {
+		t.Fatalf("disk entries = %d, want 2", disk1.Len())
+	}
+
+	// Second incarnation, fresh memory: capacity 1, so prewarm loads
+	// only one of the two persisted results; the other must come back
+	// via the disk-hit path — and both must be byte-identical to the
+	// first incarnation's responses.
+	disk2, err := cache.OpenDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2, stop2 := run(disk2)
+	defer stop2()
+	outcomes := map[string]int{}
+	for i, req := range []Request{reqA, reqB} {
+		resp, raw := post(t, ts2.URL, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm analyze %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+		got := decode(t, raw)
+		outcomes[got.Cache]++
+		if string(got.Report) != string(reports[i]) {
+			t.Errorf("restarted response %d differs from original", i)
+		}
+	}
+	if outcomes["miss"] != 0 {
+		t.Errorf("outcomes = %v: nothing should recompute with a warm disk tier", outcomes)
+	}
+	if outcomes["disk"] == 0 {
+		t.Errorf("outcomes = %v: want at least one disk hit", outcomes)
+	}
+}

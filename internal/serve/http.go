@@ -21,6 +21,8 @@ const maxBodyBytes = 8 << 20
 // Handler returns the daemon's HTTP mux:
 //
 //	POST /v1/analyze   run (or cache-serve) one analysis
+//	POST /v1/jobs      durable async analysis (when Config.Jobs set);
+//	                   see the route comments below for the job routes
 //	GET  /healthz      liveness + drain state
 //	GET  /metrics      metrics snapshot, JSON or Prometheus text
 //	                   (when Config.Metrics set)
@@ -31,6 +33,17 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	if s.jobs != nil {
+		// Durable async jobs (when Config.Jobs set):
+		//	POST /v1/jobs              journal an analysis, 202 {job_id}
+		//	GET  /v1/jobs              list all known jobs
+		//	GET  /v1/jobs/{id}         status; Done jobs carry the report
+		//	GET  /v1/jobs/{id}/events  SSE progress stream
+		mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+		mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+		mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+		mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	}
 	if s.cfg.Metrics != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			obs.HandleMetrics(w, r, s.cfg.Metrics)
@@ -62,9 +75,7 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.admitMu.RLock()
-	draining := s.draining
-	s.admitMu.RUnlock()
+	draining := s.draining.Load()
 	status := http.StatusOK
 	state := "ok"
 	if draining {
@@ -144,12 +155,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.recordShed(j.seq, cause)
 		switch cause {
 		case obs.ShedDraining:
-			w.Header().Set("Retry-After", "5")
+			w.Header().Set("Retry-After", s.retryAfter(true))
 			writeError(w, http.StatusServiceUnavailable, "server is draining")
 		default:
-			// Queue full: the closed-loop clients should back off for
-			// roughly one queue-service interval.
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter(false))
 			writeError(w, http.StatusTooManyRequests, "admission queue full")
 		}
 		return
@@ -200,8 +209,8 @@ func writeAnalyzeResponse(w http.ResponseWriter, id, outcome string, elapsedMS f
 		fmt.Fprintf(&env, `"id":%s,`, mustJSONString(id))
 	}
 	fmt.Fprintf(&env, `"cache":%q,"elapsed_ms":%g,"report":`, outcome, elapsedMS)
-	w.Write(env.Bytes()) //nolint:errcheck
-	w.Write(report)      //nolint:errcheck
+	w.Write(env.Bytes())   //nolint:errcheck
+	w.Write(report)        //nolint:errcheck
 	w.Write([]byte("}\n")) //nolint:errcheck
 }
 
@@ -212,6 +221,40 @@ func mustJSONString(s string) []byte {
 		return []byte(`""`)
 	}
 	return b
+}
+
+// retryAfter computes the Retry-After value (whole seconds) for a
+// shed request from the observed mean engine latency and the queue's
+// drain state, instead of a hardcoded constant. A full queue should
+// clear one slot in roughly mean/workers; a draining server needs the
+// whole backlog plus the in-flight work to finish before a restart
+// can accept traffic. Clamped to [1, 60]: the caller always gets a
+// positive hint, and an early cold-start outlier can't tell clients
+// to go away for minutes.
+func (s *Server) retryAfter(draining bool) string {
+	mean := s.engineNS.Snapshot().Mean()
+	if mean <= 0 {
+		// No engine samples yet (cold daemon): assume a second per job.
+		mean = time.Second
+	}
+	workers := s.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var wait time.Duration
+	if draining {
+		wait = time.Duration(len(s.queue)+workers) * mean / time.Duration(workers)
+	} else {
+		wait = mean / time.Duration(workers)
+	}
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.Itoa(secs)
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {

@@ -35,6 +35,7 @@ import (
 
 	"repro"
 	"repro/internal/cache"
+	"repro/internal/jobstore"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 )
@@ -58,6 +59,30 @@ type Config struct {
 	// CacheEntries sizes the result LRU (0 = cache.DefaultCapacity,
 	// negative disables caching).
 	CacheEntries int
+	// CacheBytes bounds the result LRU by stored bytes
+	// (0 = cache.DefaultMaxBytes). Entries are pre-encoded report JSON
+	// whose sizes span orders of magnitude, so the entry-count bound
+	// alone does not bound memory.
+	CacheBytes int64
+	// Disk, when non-nil, is the persistent tier under the LRU:
+	// checksummed content-addressed files that survive restarts.
+	// Memory misses fall through to it, computed results are written
+	// through, and Start pre-warms the LRU from it.
+	Disk *cache.Disk
+	// Jobs, when non-nil, enables the durable async job API
+	// (POST /v1/jobs, GET /v1/jobs/{id}, SSE /v1/jobs/{id}/events) and
+	// is its write-ahead store. On Start, interrupted jobs found in the
+	// store are recovered and re-enqueued. Job results live in the
+	// result cache, so setting Jobs overrides CacheEntries < 0 back to
+	// the default capacity.
+	Jobs *jobstore.Store
+	// JobWorkers sizes the async job worker pool (0 = 2). Async jobs
+	// run beside the synchronous pool, so slow chromosome-scale jobs
+	// cannot starve interactive /v1/analyze traffic.
+	JobWorkers int
+	// JobRetryBase is the base of the jittered exponential backoff
+	// between retry-chain attempts (0 = 500ms; tests shrink it).
+	JobRetryBase time.Duration
 	// Metrics receives serving telemetry under the serve/ and cache/
 	// namespaces; may be nil.
 	Metrics *obs.Registry
@@ -87,6 +112,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxSequenceLen == 0 {
 		c.MaxSequenceLen = 100000
 	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.JobRetryBase <= 0 {
+		c.JobRetryBase = 500 * time.Millisecond
+	}
 	return c
 }
 
@@ -98,11 +129,26 @@ type Server struct {
 	queue chan *job
 	jnl   *obs.Journal
 
+	// draining is read lock-free on hot and health paths. The write
+	// side still serialises with admitMu: Drain sets the flag, then
+	// takes admitMu exclusively so every in-flight admit (which holds
+	// the read lock across its queue send) finishes before the queue
+	// is closed — the flag alone cannot order "send on queue" against
+	// "close(queue)".
 	admitMu  sync.RWMutex
-	draining bool
+	draining atomic.Bool
 
 	wg     sync.WaitGroup
 	reqSeq atomic.Int64
+
+	// async job runtime (zero unless cfg.Jobs is set)
+	jobs    *jobstore.Store
+	jobStop chan struct{}
+	jobKick chan struct{}
+	jobWG   sync.WaitGroup
+	// failBackend, when non-nil, makes job attempts on the named
+	// backends fail — the retry-chain test hook.
+	failBackend func(backend string) error
 
 	// metrics (all nil-safe when cfg.Metrics is nil)
 	requests      *obs.Counter
@@ -118,6 +164,13 @@ type Server struct {
 	engineNS      *obs.Histogram
 	engineCells   *obs.Counter
 	engineAligns  *obs.Counter
+
+	jobsSubmitted *obs.Counter
+	jobsDeduped   *obs.Counter
+	jobsCompleted *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsRetries   *obs.Counter
+	jobsRecovered *obs.Counter
 }
 
 // New builds a server; call Start before serving requests.
@@ -141,19 +194,51 @@ func New(cfg Config) *Server {
 		engineNS:      cfg.Metrics.Histogram("serve/engine_ns"),
 		engineCells:   cfg.Metrics.Counter("serve/engine_cells"),
 		engineAligns:  cfg.Metrics.Counter("serve/engine_alignments"),
+
+		jobsSubmitted: cfg.Metrics.Counter("serve/jobs_submitted"),
+		jobsDeduped:   cfg.Metrics.Counter("serve/jobs_deduped"),
+		jobsCompleted: cfg.Metrics.Counter("serve/jobs_completed"),
+		jobsFailed:    cfg.Metrics.Counter("serve/jobs_failed"),
+		jobsRetries:   cfg.Metrics.Counter("serve/jobs_retries"),
+		jobsRecovered: cfg.Metrics.Counter("serve/jobs_recovered"),
 	}
-	if cfg.CacheEntries >= 0 {
-		s.cache = cache.New(cfg.CacheEntries)
+	if cfg.CacheEntries >= 0 || cfg.Jobs != nil {
+		entries := cfg.CacheEntries
+		if entries < 0 {
+			entries = 0 // jobs need somewhere to put results
+		}
+		s.cache = cache.NewSized(entries, cfg.CacheBytes)
+		if cfg.Disk != nil {
+			s.cache.AttachDisk(cfg.Disk)
+		}
 		s.cache.Bind(cfg.Metrics)
+	}
+	if cfg.Jobs != nil {
+		s.jobs = cfg.Jobs
+		s.jobs.Bind(cfg.Metrics)
+		s.jobStop = make(chan struct{})
+		s.jobKick = make(chan struct{}, 1)
 	}
 	return s
 }
 
-// Start launches the worker pool.
+// Start launches the worker pool, pre-warms the cache from the disk
+// tier, and — when a job store is configured — recovers interrupted
+// jobs and launches the async job workers.
 func (s *Server) Start() {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if s.cache != nil {
+		s.cache.Prewarm(0)
+	}
+	if s.jobs != nil {
+		s.recoverJobs()
+		for i := 0; i < s.cfg.JobWorkers; i++ {
+			s.jobWG.Add(1)
+			go s.jobWorker()
+		}
 	}
 }
 
@@ -162,17 +247,22 @@ func (s *Server) Start() {
 // wound down or ctx expires. It is the SIGTERM path: nothing admitted
 // is abandoned.
 func (s *Server) Drain(ctx context.Context) error {
-	s.admitMu.Lock()
-	if s.draining {
-		s.admitMu.Unlock()
+	if !s.draining.CompareAndSwap(false, true) {
 		return fmt.Errorf("serve: already draining")
 	}
-	s.draining = true
-	s.admitMu.Unlock()
+	// Flush in-flight admits: each one holds the read lock across its
+	// queue send, so acquiring the write lock here guarantees nobody
+	// is mid-send when the queue closes.
+	s.admitMu.Lock()
+	s.admitMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 	close(s.queue)
+	if s.jobStop != nil {
+		close(s.jobStop)
+	}
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.jobWG.Wait()
 		close(done)
 	}()
 	select {
@@ -222,7 +312,7 @@ func (s *Server) recordShed(seq int64, cause int64) {
 func (s *Server) admit(j *job) (ok bool, cause int64) {
 	s.admitMu.RLock()
 	defer s.admitMu.RUnlock()
-	if s.draining {
+	if s.draining.Load() {
 		return false, obs.ShedDraining
 	}
 	select {
@@ -296,9 +386,12 @@ func (s *Server) compute(j *job) ([]byte, cache.Outcome, error) {
 		return json.Marshal(rep)
 	}
 	v, outcome, err := s.cache.GetOrCompute(CacheKey(j.req), run)
-	if outcome == cache.Shared {
+	switch outcome {
+	case cache.Shared:
 		csp.SetName("cache.wait")
 		s.jnl.Record(obs.EvBatch, -1, int32(j.seq), 0)
+	case cache.DiskHit:
+		csp.SetName("cache.disk")
 	}
 	if err != nil {
 		return nil, outcome, err
