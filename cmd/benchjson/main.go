@@ -34,6 +34,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/parallel"
 	"repro/internal/scoring"
+	"repro/internal/seedindex"
 	"repro/internal/seq"
 	"repro/internal/stats"
 	"repro/internal/topalign"
@@ -66,17 +67,48 @@ type Level struct {
 	WallVsBaseline float64 `json:"wall_vs_baseline,omitempty"`
 }
 
+// PrefilterRow is one seed-filter-extend measurement at one scale.
+type PrefilterRow struct {
+	Preset      string  `json:"preset"`
+	SeqLen      int     `json:"seq_len"`
+	WallSeconds float64 `json:"wall_s"`
+	Cells       int64   `json:"cells"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// WindowFraction is the candidate window area over the full pair
+	// space — the share of the matrix the prefilter even looks at.
+	WindowFraction float64 `json:"window_fraction"`
+	Candidates     int     `json:"candidates"`
+	Tops           int     `json:"tops"`
+	// ExactWallS extrapolates the sequential full engine to this length
+	// by the cubic law from the calibration run; FractionOfExact is the
+	// headline ratio (the acceptance gate asks for < 0.05 at 50x).
+	ExactWallS      float64 `json:"extrapolated_exact_wall_s"`
+	FractionOfExact float64 `json:"fraction_of_exact"`
+	// Recall is the score recall against the measured exact run; only
+	// present at the calibration length, where exact is affordable.
+	Recall float64 `json:"recall_vs_exact,omitempty"`
+}
+
+// PrefilterSection carries the prefilter rows plus the calibration the
+// extrapolation is anchored to.
+type PrefilterSection struct {
+	CalibrationLen   int            `json:"calibration_len"`
+	CalibrationWallS float64        `json:"calibration_exact_wall_s"`
+	Rows             []PrefilterRow `json:"rows"`
+}
+
 // Output is the whole benchmark document.
 type Output struct {
-	Bench               string  `json:"bench"`
-	SeqLen              int     `json:"seq_len"`
-	Seed                uint64  `json:"seed"`
-	Tops                int     `json:"tops"`
-	GOMAXPROCS          int     `json:"gomaxprocs"`
-	GoVersion           string  `json:"go_version"`
-	Baseline            string  `json:"baseline,omitempty"`
-	Levels              []Level `json:"levels"`
-	SpeculationOverhead float64 `json:"speculation_overhead"`
+	Bench               string            `json:"bench"`
+	SeqLen              int               `json:"seq_len"`
+	Seed                uint64            `json:"seed"`
+	Tops                int               `json:"tops"`
+	GOMAXPROCS          int               `json:"gomaxprocs"`
+	GoVersion           string            `json:"go_version"`
+	Baseline            string            `json:"baseline,omitempty"`
+	Levels              []Level           `json:"levels"`
+	SpeculationOverhead float64           `json:"speculation_overhead"`
+	Prefilter           *PrefilterSection `json:"prefilter,omitempty"`
 }
 
 func main() {
@@ -93,6 +125,10 @@ func main() {
 			"fail unless the best shared-memory level reaches this speedup vs sequential (0 disables)")
 		maxAllocsPerAlign = flag.Float64("max-allocs-per-align", 0,
 			"fail if a single-process level exceeds this many heap allocations per alignment (0 disables)")
+		prefilter = flag.Bool("prefilter", false,
+			"also benchmark the seed-filter-extend prefilter at 10x and 50x scale")
+		maxPrefilterFraction = flag.Float64("max-prefilter-fraction", 0,
+			"fail if a scaled prefilter run exceeds this fraction of the extrapolated exact wall time (0 disables)")
 	)
 	flag.Parse()
 	if *short {
@@ -173,6 +209,7 @@ func main() {
 
 	var seqWall float64
 	var seqAlignments int64
+	var seqRes *topalign.Result
 	var ms0, ms1 runtime.MemStats
 	for _, r := range runners {
 		cfg := base
@@ -199,7 +236,7 @@ func main() {
 			lv.AllocsPerAlign = float64(lv.Mallocs) / float64(snap.Alignments)
 		}
 		if lv.Name == "sequential" {
-			seqWall, seqAlignments = wall, snap.Alignments
+			seqWall, seqAlignments, seqRes = wall, snap.Alignments, res
 		}
 		if seqWall > 0 {
 			lv.Speedup = seqWall / wall
@@ -216,8 +253,18 @@ func main() {
 		}
 	}
 
+	if *prefilter {
+		sec, err := runPrefilter(q, base, seqWall, seqRes, *seed, *short)
+		if err != nil {
+			stopProf()
+			writeDoc(out, *outP)
+			fatal(err)
+		}
+		out.Prefilter = sec
+	}
+
 	stopProf()
-	if err := assertBudgets(out, *minSpeedupShared, *maxAllocsPerAlign); err != nil {
+	if err := assertBudgets(out, *minSpeedupShared, *maxAllocsPerAlign, *maxPrefilterFraction); err != nil {
 		// Still write the document so CI can upload it for inspection.
 		writeDoc(out, *outP)
 		fatal(err)
@@ -225,11 +272,79 @@ func main() {
 	writeDoc(out, *outP)
 }
 
+// runPrefilter benchmarks the fast and balanced presets at 10x and 50x
+// the calibration length (2x and 4x under -short), extrapolating the
+// exact engine's wall time to each scale by the cubic law anchored at
+// the measured sequential calibration run, and measuring score recall at
+// the calibration length where the exact result is available.
+func runPrefilter(q *seq.Sequence, base topalign.Config, seqWall float64, seqRes *topalign.Result, seed uint64, short bool) (*PrefilterSection, error) {
+	sec := &PrefilterSection{CalibrationLen: q.Len(), CalibrationWallS: seqWall}
+	letters := seq.PrimaryLetters(q.Alpha)
+	sum := func(res *topalign.Result) float64 {
+		var s float64
+		for _, top := range res.Tops {
+			s += float64(top.Score)
+		}
+		return s
+	}
+	scales := []int{1, 10, 50}
+	if short {
+		scales = []int{1, 2, 4}
+	}
+	for _, scale := range scales {
+		qs := q
+		if scale > 1 {
+			qs = seq.SyntheticTitin(q.Len()*scale, seed)
+		}
+		for _, preset := range []string{seedindex.PresetFast, seedindex.PresetBalanced} {
+			pcfg, err := seedindex.PresetConfig(preset, letters)
+			if err != nil {
+				return nil, err
+			}
+			cfg := base
+			cfg.Counters = &stats.Counters{}
+			t0 := time.Now()
+			res, pst, err := seedindex.Find(qs.Codes, pcfg, cfg)
+			wall := time.Since(t0).Seconds()
+			if err != nil {
+				return nil, fmt.Errorf("prefilter %s at %d: %w", preset, qs.Len(), err)
+			}
+			snap := cfg.Counters.Snapshot()
+			ratio := float64(qs.Len()) / float64(q.Len())
+			row := PrefilterRow{
+				Preset:      preset,
+				SeqLen:      qs.Len(),
+				WallSeconds: wall,
+				Cells:       snap.Cells,
+				CellsPerSec: float64(snap.Cells) / wall,
+				Candidates:  pst.Candidates,
+				Tops:        len(res.Tops),
+				ExactWallS:  seqWall * ratio * ratio * ratio,
+			}
+			if pst.SequenceCells > 0 {
+				row.WindowFraction = float64(pst.WindowCells) / float64(pst.SequenceCells)
+			}
+			if row.ExactWallS > 0 {
+				row.FractionOfExact = wall / row.ExactWallS
+			}
+			if scale == 1 && seqRes != nil {
+				if exact := sum(seqRes); exact > 0 {
+					row.Recall = sum(res) / exact
+				}
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: prefilter %-8s n=%-6d %6.2fs  %5.2f%% of pair space  %.4f of exact  tops=%d\n",
+				row.Preset, row.SeqLen, wall, 100*row.WindowFraction, row.FractionOfExact, row.Tops)
+			sec.Rows = append(sec.Rows, row)
+		}
+	}
+	return sec, nil
+}
+
 // assertBudgets enforces the CI perf gates: the best shared-memory
 // level's speedup vs sequential, and a heap-allocation budget per
 // alignment on the single-process levels (the cluster level is exempt:
 // its message codecs allocate by design).
-func assertBudgets(out Output, minSpeedup, maxAllocs float64) error {
+func assertBudgets(out Output, minSpeedup, maxAllocs, maxPrefFrac float64) error {
 	if minSpeedup > 0 {
 		best := 0.0
 		for _, lv := range out.Levels {
@@ -249,6 +364,17 @@ func assertBudgets(out Output, minSpeedup, maxAllocs float64) error {
 			if lv.AllocsPerAlign > maxAllocs {
 				return fmt.Errorf("%s: %.1f allocs/alignment exceeds budget %.1f",
 					lv.Name, lv.AllocsPerAlign, maxAllocs)
+			}
+		}
+	}
+	if maxPrefFrac > 0 && out.Prefilter != nil {
+		for _, row := range out.Prefilter.Rows {
+			// The gate covers the scaled rows; at the calibration length
+			// itself the windows overlap heavily and the fraction is not
+			// the figure of merit (recall is).
+			if row.SeqLen > out.SeqLen && row.FractionOfExact > maxPrefFrac {
+				return fmt.Errorf("prefilter %s at n=%d took %.4f of the extrapolated exact time, budget %.4f",
+					row.Preset, row.SeqLen, row.FractionOfExact, maxPrefFrac)
 			}
 		}
 	}

@@ -38,6 +38,12 @@ func main() {
 		threads    = flag.Int("threads", 1, "worker threads per cluster slave")
 		spec       = flag.Bool("speculative", false, "speculative parallel acceptance (paper mode)")
 		minPairs   = flag.Int("min-pairs", 0, "minimum matched pairs per alignment for delineation")
+		preset     = flag.String("preset", "", "seed-filter-extend prefilter for long inputs: fast, balanced, or sensitive")
+		seedK      = flag.Int("seed-k", 0, "prefilter seed length (0 = preset default)")
+		seedMask   = flag.String("seed-mask", "", "prefilter spaced-seed mask over {0,1} (overrides -seed-k)")
+		seedMaxOcc = flag.Int("seed-max-occ", 0, "prefilter per-seed occurrence cap (0 = preset default)")
+		seedBand   = flag.Int("seed-band", 0, "prefilter diagonal band width (0 = preset default)")
+		seedPad    = flag.Int("seed-pad", 0, "prefilter candidate window padding (0 = preset default)")
 		stats      = flag.Bool("stats", false, "print engine statistics")
 		showAln    = flag.Int("align", 0, "render the first N top alignments residue by residue")
 		metricsOut = flag.String("metrics-out", "", "write the observability snapshot (metrics + trace tail) as JSON to this file (- for stdout)")
@@ -50,6 +56,8 @@ func main() {
 		Lanes: *lanes, Striped: *striped,
 		Workers: *workers, Slaves: *slaves, ThreadsPerSlave: *threads,
 		Speculative: *spec, MinPairs: *minPairs,
+		Preset: *preset, SeedK: *seedK, SeedMask: *seedMask,
+		SeedMaxOcc: *seedMaxOcc, SeedBand: *seedBand, SeedPad: *seedPad,
 	}
 	if *metricsOut != "" {
 		opt.Metrics = obs.NewRegistry()
@@ -94,6 +102,12 @@ func main() {
 			fmt.Print(block)
 		}
 		if *stats {
+			if pf := rep.Prefilter; pf != nil {
+				fmt.Printf("  prefilter %s: k=%d kmers=%d dropped=%d pairs=%d segments=%d clusters=%d candidates=%d window-cells=%d (%.2f%% of pair space)\n",
+					pf.Preset, pf.K, pf.Kmers, pf.DroppedKmers, pf.Pairs, pf.Segments,
+					pf.Clusters, pf.Candidates, pf.WindowCells,
+					100*float64(pf.WindowCells)/float64(pf.SequenceCells))
+			}
 			fmt.Printf("  stats: alignments=%d realignments=%d tracebacks=%d cells=%d shadow-ends=%d\n",
 				rep.Stats.Alignments, rep.Stats.Realignments, rep.Stats.Tracebacks,
 				rep.Stats.Cells, rep.Stats.ShadowEnds)

@@ -57,6 +57,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "(with -self) server worker pool size")
 		queue    = flag.Int("queue", 0, "(with -self) server queue depth")
 		jobsN    = flag.Int("jobs", 0, "exercise the async job API first: submit N durable jobs, poll to completion, verify")
+		longLen  = flag.Int("long-len", 0, "long-input phase: analyse one synthetic sequence of this length with the prefilter preset end-to-end before the load phase (0 disables)")
+		longPre  = flag.String("long-preset", "fast", "prefilter preset for the long-input phase: fast, balanced, sensitive")
 		outP     = flag.String("out", "-", "output JSON path (- for stdout)")
 	)
 	flag.Parse()
@@ -102,6 +104,16 @@ func main() {
 	var jobsDone, jobsDeduped int64
 	if *jobsN > 0 {
 		jobsDone, jobsDeduped = runJobsPhase(client, base, pool, truth, *tops, *backend, *jobsN)
+	}
+
+	// Long-input phase: one chromosome-scale sequence through the
+	// seed-filter-extend preset, end to end over the API — asserting the
+	// preset parameter reaches the engine, the response matches a local
+	// prefilter run bit for bit, and a repeat request hits the cache
+	// (the preset knobs are part of the content-addressed key).
+	var longDoc *longResult
+	if *longLen > 0 {
+		longDoc = runLongPhase(client, base, *longLen, *longPre, *tops, *seed, *verify)
 	}
 
 	var (
@@ -266,6 +278,7 @@ func main() {
 		Divergences: divergences.Load(),
 		JobsDone:    jobsDone,
 		JobsDeduped: jobsDeduped,
+		LongInput:   longDoc,
 	}
 	if n > 0 {
 		doc.CacheHitRate = float64(hits) / float64(n)
@@ -336,6 +349,8 @@ type output struct {
 
 	JobsDone    int64 `json:"jobs_done,omitempty"`
 	JobsDeduped int64 `json:"jobs_deduped,omitempty"`
+
+	LongInput *longResult `json:"long_input,omitempty"`
 
 	ServerQueueDepthMax  int64 `json:"server_queue_depth_last"`
 	ServerCacheEvictions int64 `json:"server_cache_evictions"`
@@ -470,6 +485,80 @@ func runJobsPhase(client *http.Client, base string, pool []*seq.Sequence, truth 
 	}
 	fmt.Fprintf(os.Stderr, "reproload: jobs %d submitted, %d deduped, %d verified done\n", n, deduped, done)
 	return done, deduped
+}
+
+// longResult summarises the long-input phase.
+type longResult struct {
+	SeqLen      int     `json:"seq_len"`
+	Preset      string  `json:"preset"`
+	ColdMS      float64 `json:"cold_ms"`
+	RepeatCache string  `json:"repeat_cache"`
+	Tops        int     `json:"tops"`
+	WindowCells int64   `json:"window_cells"`
+	WindowShare float64 `json:"window_fraction"`
+	Verified    bool    `json:"verified"`
+}
+
+// runLongPhase submits one long synthetic sequence with the prefilter
+// preset, verifies the response against a local run with the same
+// preset, and asserts a repeat request is served from the cache.
+func runLongPhase(client *http.Client, base string, length int, preset string, tops int, seed uint64, verify bool) *longResult {
+	q := seq.SyntheticTitin(length, seed+1000)
+	body, _ := json.Marshal(serve.Request{
+		ID: q.ID, Sequence: q.String(),
+		Params:    serve.Params{Tops: tops, Preset: preset},
+		TimeoutMS: int((5 * time.Minute).Milliseconds()),
+	})
+	post := func(label string) (*serve.Response, float64) {
+		t0 := time.Now()
+		resp, err := client.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fatal(fmt.Errorf("long-input %s: %w", label, err))
+		}
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || rerr != nil {
+			fatal(fmt.Errorf("long-input %s: status %d: %.200s", label, resp.StatusCode, raw))
+		}
+		var sr serve.Response
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			fatal(fmt.Errorf("long-input %s: %w", label, err))
+		}
+		return &sr, float64(time.Since(t0).Microseconds()) / 1e3
+	}
+	cold, coldMS := post("cold")
+	rep, err := cold.DecodeReport()
+	if err != nil {
+		fatal(fmt.Errorf("long-input report: %w", err))
+	}
+	if rep.Prefilter == nil || rep.Prefilter.Preset != preset {
+		fatal(fmt.Errorf("long-input response carries no prefilter telemetry for preset %q", preset))
+	}
+	res := &longResult{
+		SeqLen: q.Len(), Preset: preset, ColdMS: coldMS,
+		Tops: len(rep.Tops), WindowCells: rep.Prefilter.WindowCells,
+	}
+	if rep.Prefilter.SequenceCells > 0 {
+		res.WindowShare = float64(rep.Prefilter.WindowCells) / float64(rep.Prefilter.SequenceCells)
+	}
+	if verify {
+		truth, err := repro.Analyze(q.ID, q.String(), repro.Options{NumTops: tops, Preset: preset})
+		if err != nil {
+			fatal(fmt.Errorf("long-input local truth run: %w", err))
+		}
+		if !sameAnalysis(truth, rep) {
+			fatal(fmt.Errorf("long-input response diverges from the local %s-preset run", preset))
+		}
+		res.Verified = true
+	}
+	repeat, _ := post("repeat")
+	res.RepeatCache = repeat.Cache
+	if repeat.Cache != "hit" {
+		fatal(fmt.Errorf("long-input repeat request was %q, want cache hit", repeat.Cache))
+	}
+	fmt.Fprintf(os.Stderr, "reproload: long-input n=%d preset=%s cold %.0fms, %.2f%% of pair space, repeat %s\n",
+		q.Len(), preset, coldMS, 100*res.WindowShare, repeat.Cache)
+	return res
 }
 
 func scrapeMetrics(client *http.Client, base string) (*obs.Snapshot, error) {

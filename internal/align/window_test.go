@@ -1,0 +1,181 @@
+package align
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/scoring"
+	"repro/internal/seq"
+	"repro/internal/triangle"
+)
+
+// windowParams returns the standard protein scoring model for tests.
+func windowParams(t *testing.T) Params {
+	t.Helper()
+	exch, ok := scoring.ByName("BLOSUM62")
+	if !ok {
+		t.Fatal("BLOSUM62 not registered")
+	}
+	return Params{Exch: exch, Gap: scoring.DefaultProteinGap}
+}
+
+// TestScoreWindowMatchesSplitKernel checks that a window spanning the
+// entire split matrix [1..r] x [r+1..m] reproduces the split kernel's
+// bottom row exactly, unmasked and masked.
+func TestScoreWindowMatchesSplitKernel(t *testing.T) {
+	p := windowParams(t)
+	for seed := uint64(1); seed <= 5; seed++ {
+		s := seq.Tandem(seq.TandemSpec{UnitLen: 20, Copies: 5, FlankLen: 10,
+			Profile: seq.DefaultDivergence, Seed: seed}).Codes
+		m := len(s)
+		tri := triangle.New(m)
+		r := m / 2
+		// Mark some random pairs to exercise masking.
+		rng := rand.New(rand.NewPCG(seed, 42))
+		for k := 0; k < 50; k++ {
+			i := 1 + rng.IntN(m-1)
+			j := i + 1 + rng.IntN(m-i)
+			tri.Set(i, j)
+		}
+		for _, tc := range []*triangle.Triangle{nil, tri} {
+			want := ScoreMasked(p, s[:r], s[r:], tc, r)
+			got := new(Scratch).ScoreWindow(p, s, Rect{Y0: 1, Y1: r, X0: r + 1, X1: m}, tc)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d: row length %d != %d", seed, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d masked=%v: col %d: window %d != split %d",
+						seed, tc != nil, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestScoreWindowSubwindowConsistency checks that a sub-window's matrix
+// values match a brute-force recurrence restricted to the window.
+func TestScoreWindowSubwindowConsistency(t *testing.T) {
+	p := windowParams(t)
+	s := seq.Tandem(seq.TandemSpec{UnitLen: 15, Copies: 6, FlankLen: 5,
+		Profile: seq.DefaultDivergence, Seed: 7}).Codes
+	m := len(s)
+	rng := rand.New(rand.NewPCG(9, 9))
+	tri := triangle.New(m)
+	for k := 0; k < 40; k++ {
+		i := 1 + rng.IntN(m-1)
+		j := i + 1 + rng.IntN(m-i)
+		tri.Set(i, j)
+	}
+	for trial := 0; trial < 20; trial++ {
+		y0 := 1 + rng.IntN(m/2)
+		y1 := y0 + rng.IntN(m/2-1)
+		if y1 >= m {
+			y1 = m - 1
+		}
+		x0 := y1 + 1 + rng.IntN(m-y1)
+		if x0 > m {
+			x0 = m
+		}
+		x1 := x0 + rng.IntN(m-x0+1)
+		w := Rect{Y0: y0, Y1: y1, X0: x0, X1: x1}
+		if err := w.Validate(m); err != nil {
+			t.Fatalf("trial %d: generated invalid window: %v", trial, err)
+		}
+		mtx := new(Scratch).MatrixWindow(p, s, w, tri)
+		bottom := new(Scratch).ScoreWindow(p, s, w, tri)
+		for x := 1; x <= w.W(); x++ {
+			if mtx[w.H()][x] != bottom[x-1] {
+				t.Fatalf("trial %d: bottom row mismatch at col %d: matrix %d, score %d",
+					trial, x, mtx[w.H()][x], bottom[x-1])
+			}
+		}
+		// Brute-force the windowed recurrence.
+		naive := naiveWindow(p, s, w, tri)
+		for y := 0; y <= w.H(); y++ {
+			for x := 0; x <= w.W(); x++ {
+				if mtx[y][x] != naive[y][x] {
+					t.Fatalf("trial %d window %+v: cell (%d,%d): kernel %d, naive %d",
+						trial, w, y, x, mtx[y][x], naive[y][x])
+				}
+			}
+		}
+	}
+}
+
+// naiveWindow is an O(HW(H+W)) reference implementation of the windowed
+// recurrence with explicit gap minimisation.
+func naiveWindow(p Params, s []byte, w Rect, tri *triangle.Triangle) [][]int32 {
+	h, width := w.H(), w.W()
+	m := make([][]int32, h+1)
+	for y := range m {
+		m[y] = make([]int32, width+1)
+	}
+	for y := 1; y <= h; y++ {
+		gy := w.Y0 - 1 + y
+		for x := 1; x <= width; x++ {
+			gx := w.X0 - 1 + x
+			if tri != nil && tri.Get(gy, gx) {
+				m[y][x] = 0
+				continue
+			}
+			best := m[y-1][x-1]
+			for k := 1; x-1-k >= 0; k++ {
+				if v := m[y-1][x-1-k] - p.Gap.Open - int32(k)*p.Gap.Ext; v > best {
+					best = v
+				}
+			}
+			for k := 1; y-1-k >= 0; k++ {
+				if v := m[y-1-k][x-1] - p.Gap.Open - int32(k)*p.Gap.Ext; v > best {
+					best = v
+				}
+			}
+			v := best + p.Exch.Score(s[gy-1], s[gx-1])
+			if v < 0 {
+				v = 0
+			}
+			m[y][x] = v
+		}
+	}
+	return m
+}
+
+// TestTracebackWindowMatchesFull checks that windowed traceback over the
+// full split window reconstructs the same pairs as the full traceback.
+func TestTracebackWindowMatchesFull(t *testing.T) {
+	p := windowParams(t)
+	s := seq.Tandem(seq.TandemSpec{UnitLen: 18, Copies: 4, FlankLen: 8,
+		Profile: seq.DefaultDivergence, Seed: 3}).Codes
+	m := len(s)
+	r := m / 2
+	w := Rect{Y0: 1, Y1: r, X0: r + 1, X1: m}
+	full := Matrix(p, s[:r], s[r:], nil, r)
+	win := new(Scratch).MatrixWindow(p, s, w, nil)
+	endX, score, _ := BestValidEnd(full[r][1:], nil)
+	if endX == 0 {
+		t.Skip("no positive alignment in this synthetic input")
+	}
+	wantA, err := Traceback(p, full, s[:r], s[r:], nil, r, endX)
+	if err != nil {
+		t.Fatalf("full traceback: %v", err)
+	}
+	gotA, err := new(Scratch).TracebackWindow(p, win, s, w, nil, endX)
+	if err != nil {
+		t.Fatalf("window traceback: %v", err)
+	}
+	if gotA.Score != wantA.Score || gotA.Score != score {
+		t.Fatalf("scores differ: window %d, full %d, row %d", gotA.Score, wantA.Score, score)
+	}
+	if len(gotA.Pairs) != len(wantA.Pairs) {
+		t.Fatalf("pair counts differ: window %d, full %d", len(gotA.Pairs), len(wantA.Pairs))
+	}
+	for i := range wantA.Pairs {
+		// Full traceback pairs are split-local (Y in prefix, X in suffix);
+		// window pairs are window-local. Both map to the same globals.
+		wg := Pair{Y: wantA.Pairs[i].Y, X: r + wantA.Pairs[i].X}
+		gg := Pair{Y: w.Y0 - 1 + gotA.Pairs[i].Y, X: w.X0 - 1 + gotA.Pairs[i].X}
+		if wg != gg {
+			t.Fatalf("pair %d differs: window %+v, full %+v", i, gg, wg)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package seedindex
+
+import (
+	"repro/internal/topalign"
+)
+
+// Find runs the full seed-filter-extend pipeline over sequence s
+// (residue codes) and returns top alignments through the standard
+// best-first queue, plus the prefilter stage statistics.
+//
+// Stages are recorded as spans (prefilter.index, prefilter.chain,
+// prefilter.extend) under top.SpanParent so reprotrace attributes
+// prefilter time. Group lanes and the striped kernel do not apply to
+// windowed extension and are ignored.
+func Find(s []byte, cfg Config, top topalign.Config) (*topalign.Result, *Stats, error) {
+	st := &Stats{}
+	if n := int64(len(s)); n > 1 {
+		st.SequenceCells = n * (n - 1) / 2
+	}
+
+	sp := top.Spans.Start(top.SpanParent, "prefilter.index")
+	sp.SetRank(top.SpanRank)
+	x, err := BuildIndex(s, cfg)
+	sp.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Kmers, st.DroppedKmers, st.Positions = x.Kmers(), x.Dropped(), x.Positions()
+
+	sp = top.Spans.Start(top.SpanParent, "prefilter.chain")
+	sp.SetRank(top.SpanRank)
+	ch := Chain(x, cfg)
+	cands := Candidates(ch, cfg, len(s), top.Params.Exch.MaxScore())
+	sp.End()
+	st.Pairs, st.Segments, st.Clusters = ch.Pairs, ch.Segments, len(ch.Clusters)
+	st.Candidates = len(cands)
+
+	e, err := topalign.NewEngine(s, top)
+	if err != nil {
+		return nil, nil, err
+	}
+	minScore := e.Config().MinScore
+	tasks := make([]*topalign.Task, 0, len(cands))
+	for _, c := range cands {
+		if c.Bound < minScore {
+			st.PrunedBound++
+			continue
+		}
+		st.WindowCells += c.Rect.Cells()
+		tasks = append(tasks, &topalign.Task{
+			R:           c.Rect.Y1,
+			Score:       c.Bound,
+			AlignedWith: -1,
+			Win:         &topalign.Window{Rect: c.Rect, Bound: c.Bound},
+		})
+	}
+
+	sp = top.Spans.Start(top.SpanParent, "prefilter.extend")
+	sp.SetRank(top.SpanRank)
+	err = topalign.RunWindows(e, tasks)
+	sp.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &topalign.Result{
+		SeqLen: e.Len(),
+		Tops:   e.Tops(),
+		Stats:  e.Config().Counters.Snapshot(),
+	}, st, nil
+}
+
+// Scan runs only the index and chain stages and reports what the filter
+// would do, without extending. The sensitive preset uses it: results
+// come from the exact engine (bit-identical by construction) while the
+// scan supplies prefilter telemetry for the report and trace.
+func Scan(s []byte, cfg Config, maxScore int32) (*Stats, error) {
+	st := &Stats{}
+	if n := int64(len(s)); n > 1 {
+		st.SequenceCells = n * (n - 1) / 2
+	}
+	x, err := BuildIndex(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	st.Kmers, st.DroppedKmers, st.Positions = x.Kmers(), x.Dropped(), x.Positions()
+	ch := Chain(x, cfg)
+	cands := Candidates(ch, cfg, len(s), maxScore)
+	st.Pairs, st.Segments, st.Clusters = ch.Pairs, ch.Segments, len(ch.Clusters)
+	st.Candidates = len(cands)
+	for _, c := range cands {
+		st.WindowCells += c.Rect.Cells()
+	}
+	return st, nil
+}

@@ -1,0 +1,94 @@
+package seedindex
+
+import "sort"
+
+// Index is the k-mer (or spaced-seed) occurrence index of one sequence:
+// packed seed key -> ascending 0-based start positions. Keys whose
+// occurrence list exceeded the configured cap have been dropped.
+type Index struct {
+	post    map[uint64][]int32
+	keys    []uint64 // sorted kept keys, for deterministic iteration
+	span    int
+	weight  int
+	dropped int
+	pos     int
+}
+
+// BuildIndex indexes every seed window of s (residue codes) under cfg.
+// Windows containing an ambiguity code (>= cfg.Base) are skipped, as are
+// windows extending past the end; sequences shorter than the seed span
+// yield an empty index, not an error (the caller falls back to the exact
+// engine when nothing is indexed).
+func BuildIndex(s []byte, cfg Config) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	span, base := cfg.Span(), uint64(cfg.Base)
+	// Sampled offsets within the seed window.
+	offs := make([]int, 0, cfg.Weight())
+	if cfg.Mask == "" {
+		for i := 0; i < cfg.K; i++ {
+			offs = append(offs, i)
+		}
+	} else {
+		for i := 0; i < len(cfg.Mask); i++ {
+			if cfg.Mask[i] == '1' {
+				offs = append(offs, i)
+			}
+		}
+	}
+	idx := &Index{post: make(map[uint64][]int32), span: span, weight: len(offs)}
+	n := len(s)
+	for p := 0; p+span <= n; p++ {
+		key := uint64(0)
+		ok := true
+		for _, o := range offs {
+			c := s[p+o]
+			if int(c) >= cfg.Base {
+				ok = false // ambiguity code in window
+				break
+			}
+			key = key*base + uint64(c)
+		}
+		if !ok {
+			continue
+		}
+		idx.post[key] = append(idx.post[key], int32(p))
+	}
+	// Apply the occurrence cap and freeze a deterministic key order.
+	for key, occ := range idx.post {
+		if len(occ) > cfg.MaxOcc {
+			delete(idx.post, key)
+			idx.dropped++
+			continue
+		}
+		idx.keys = append(idx.keys, key)
+		idx.pos += len(occ)
+	}
+	sort.Slice(idx.keys, func(a, b int) bool { return idx.keys[a] < idx.keys[b] })
+	return idx, nil
+}
+
+// Span returns the seed window length in residues.
+func (x *Index) Span() int { return x.span }
+
+// Weight returns the number of sampled positions per seed.
+func (x *Index) Weight() int { return x.weight }
+
+// Kmers returns the number of distinct seeds kept.
+func (x *Index) Kmers() int { return len(x.keys) }
+
+// Dropped returns the number of distinct seeds removed by the
+// occurrence cap.
+func (x *Index) Dropped() int { return x.dropped }
+
+// Positions returns the total number of indexed occurrences.
+func (x *Index) Positions() int { return x.pos }
+
+// Occurrences returns the ascending start positions of seed key, or nil.
+// The caller must not modify the returned slice.
+func (x *Index) Occurrences(key uint64) []int32 { return x.post[key] }
+
+// Keys returns the kept seed keys in ascending order. The caller must
+// not modify the returned slice.
+func (x *Index) Keys() []uint64 { return x.keys }

@@ -1,0 +1,199 @@
+package seedindex
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func testConfig() Config {
+	return Config{K: 3, Base: 20, MaxOcc: 64, SuccPairs: 8, MergeGap: 8,
+		ChainGap: 32, BandWidth: 8, Pad: 8, MinSeeds: 1, MinMatched: 3}
+}
+
+func TestBuildIndexBasic(t *testing.T) {
+	// AAAB AAAB: "AAA" at 0 and 4, "AAB" at 1 and 5, "ABA" at 2, "BAA" at 3.
+	s := []byte{0, 0, 0, 1, 0, 0, 0, 1}
+	cfg := testConfig()
+	x, err := BuildIndex(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Occurrences(0); !reflect.DeepEqual(got, []int32{0, 4}) {
+		t.Fatalf("AAA occurrences = %v, want [0 4]", got)
+	}
+	key := uint64(0*400 + 0*20 + 1) // "AAB"
+	if got := x.Occurrences(key); !reflect.DeepEqual(got, []int32{1, 5}) {
+		t.Fatalf("AAB occurrences = %v, want [1 5]", got)
+	}
+	if x.Positions() != 6 {
+		t.Fatalf("positions = %d, want 6", x.Positions())
+	}
+}
+
+func TestBuildIndexSkipsAmbiguity(t *testing.T) {
+	// Code 20 is outside the primary range: windows containing it are
+	// not indexed.
+	s := []byte{0, 1, 20, 1, 0, 2, 3, 4}
+	x, err := BuildIndex(s, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range x.Keys() {
+		for _, p := range x.Occurrences(key) {
+			for o := 0; o < 3; o++ {
+				if s[int(p)+o] >= 20 {
+					t.Fatalf("indexed window at %d contains ambiguity code", p)
+				}
+			}
+		}
+	}
+	if x.Positions() != 3 { // windows starting at 3, 4, 5
+		t.Fatalf("positions = %d, want 3", x.Positions())
+	}
+}
+
+func TestBuildIndexOccurrenceCap(t *testing.T) {
+	s := make([]byte, 100) // homopolymer: "AAA" occurs 98 times
+	cfg := testConfig()
+	cfg.MaxOcc = 10
+	x, err := BuildIndex(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Kmers() != 0 || x.Dropped() != 1 {
+		t.Fatalf("kept %d dropped %d, want 0 kept 1 dropped", x.Kmers(), x.Dropped())
+	}
+}
+
+func TestBuildIndexShortInput(t *testing.T) {
+	x, err := BuildIndex([]byte{0, 1}, testConfig()) // shorter than k
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Kmers() != 0 || x.Positions() != 0 {
+		t.Fatalf("short input indexed %d kmers", x.Kmers())
+	}
+}
+
+func TestSpacedSeedMask(t *testing.T) {
+	cfg := testConfig()
+	cfg.Mask = "101"
+	cfg.K = 0
+	if cfg.Weight() != 2 || cfg.Span() != 3 {
+		t.Fatalf("weight %d span %d, want 2/3", cfg.Weight(), cfg.Span())
+	}
+	// ABC and ADC share the mask samples (A, C); ABD does not.
+	s := []byte{0, 1, 2, 0, 3, 2, 0, 1, 3}
+	x, err := BuildIndex(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := uint64(0*20 + 2) // A_C
+	if got := x.Occurrences(key); !reflect.DeepEqual(got, []int32{0, 3}) {
+		t.Fatalf("A_C occurrences = %v, want [0 3]", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{K: 3, Base: 1, MaxOcc: 1, SuccPairs: 1, BandWidth: 1, MinSeeds: 1},          // base too small
+		{K: 0, Base: 20, MaxOcc: 1, SuccPairs: 1, BandWidth: 1, MinSeeds: 1},         // k < 1
+		{K: 20, Base: 20, MaxOcc: 1, SuccPairs: 1, BandWidth: 1, MinSeeds: 1},        // key overflow
+		{Mask: "0110", Base: 20, MaxOcc: 1, SuccPairs: 1, BandWidth: 1, MinSeeds: 1}, // mask edges
+		{Mask: "1x1", Base: 20, MaxOcc: 1, SuccPairs: 1, BandWidth: 1, MinSeeds: 1},  // mask alphabet
+		{K: 3, Base: 20, MaxOcc: 0, SuccPairs: 1, BandWidth: 1, MinSeeds: 1},         // cap < 1
+		{K: 3, Base: 20, MaxOcc: 1, SuccPairs: 0, BandWidth: 1, MinSeeds: 1},         // succ < 1
+		{K: 3, Base: 20, MaxOcc: 1, SuccPairs: 1, BandWidth: 0, MinSeeds: 1},         // band < 1
+		{K: 3, Base: 20, MaxOcc: 1, SuccPairs: 1, BandWidth: 1, MinSeeds: 0},         // seeds < 1
+		{K: 3, Base: 20, MaxOcc: 1, SuccPairs: 1, BandWidth: 1, MinSeeds: 1, Pad: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d unexpectedly valid: %+v", i, c)
+		}
+	}
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("test config invalid: %v", err)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, preset := range []string{PresetFast, PresetBalanced, PresetSensitive} {
+		for _, base := range []int{4, 20} {
+			c, err := PresetConfig(preset, base)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", preset, base, err)
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("%s/%d invalid: %v", preset, base, err)
+			}
+		}
+	}
+	if _, err := PresetConfig("warp", 20); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if !ValidPreset("fast") || ValidPreset("warp") || ValidPreset("") {
+		t.Fatal("ValidPreset wrong")
+	}
+}
+
+// TestChainDeterminism: identical inputs produce identical output, and
+// candidate windows are always valid with Y1 < X0.
+func TestChainDeterminism(t *testing.T) {
+	s := seq.Tandem(seq.TandemSpec{UnitLen: 40, Copies: 6, FlankLen: 20,
+		Profile: seq.MutationProfile{SubstRate: 0.2, IndelRate: 0.02, IndelExt: 0.5},
+		Seed:    5}).Codes
+	cfg := testConfig()
+	x1, _ := BuildIndex(s, cfg)
+	x2, _ := BuildIndex(s, cfg)
+	ch1, ch2 := Chain(x1, cfg), Chain(x2, cfg)
+	if !reflect.DeepEqual(ch1, ch2) {
+		t.Fatal("Chain is not deterministic")
+	}
+	c1 := Candidates(ch1, cfg, len(s), 11)
+	c2 := Candidates(ch2, cfg, len(s), 11)
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("Candidates is not deterministic")
+	}
+	if len(c1) == 0 {
+		t.Fatal("no candidates on a tandem array")
+	}
+	for _, c := range c1 {
+		if err := c.Rect.Validate(len(s)); err != nil {
+			t.Fatalf("invalid candidate window: %v", err)
+		}
+		if c.Bound <= 0 {
+			t.Fatalf("non-positive bound %d for %+v", c.Bound, c.Rect)
+		}
+	}
+}
+
+// TestSegmentsMergeOnDiagonal: seeds on one diagonal within MergeGap
+// form a single segment whose covered count never exceeds its extent.
+func TestSegmentsMergeOnDiagonal(t *testing.T) {
+	// Perfect tandem: unit of 10 distinct codes repeated 4 times. Every
+	// position matches the position one unit later, giving one long run
+	// on diagonal 10.
+	unit := []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	var s []byte
+	for i := 0; i < 4; i++ {
+		s = append(s, unit...)
+	}
+	cfg := testConfig()
+	x, _ := BuildIndex(s, cfg)
+	ch := Chain(x, cfg)
+	found := false
+	for _, cl := range ch.Clusters {
+		if cl.DMin <= 10 && cl.DMax >= 10 {
+			found = true
+			if ext := cl.IEnd - cl.IStart; cl.Covered > ext {
+				t.Fatalf("cluster covered %d exceeds extent %d", cl.Covered, ext)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no cluster on the tandem diagonal")
+	}
+}

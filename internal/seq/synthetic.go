@@ -29,6 +29,12 @@ func Random(alpha *Alphabet, n int, seed uint64) *Sequence {
 	}
 }
 
+// PrimaryLetters returns the number of leading alphabet codes that denote
+// concrete residues (excluding ambiguity codes like X or N). The k-mer
+// index in internal/seedindex packs seeds in this base and skips windows
+// containing ambiguity codes.
+func PrimaryLetters(alpha *Alphabet) int { return primaryLetters(alpha) }
+
 // primaryLetters returns the number of leading alphabet codes that denote
 // concrete residues (excluding ambiguity codes like X or N).
 func primaryLetters(alpha *Alphabet) int {

@@ -9,6 +9,8 @@ import (
 
 	"repro"
 	"repro/internal/scoring"
+	"repro/internal/seedindex"
+	"repro/internal/seq"
 )
 
 // Params are the analysis parameters of one serving request. The JSON
@@ -36,6 +38,20 @@ type Params struct {
 	// result bit-identical to the sequential engine, which is what lets
 	// the cache be shared across backends.
 	Speculative bool `json:"speculative,omitempty"`
+	// Preset selects the seed-filter-extend prefilter for long inputs:
+	// "" (exact engine), "fast", "balanced", or "sensitive" (exact
+	// engine + prefilter telemetry). Fast and balanced run the
+	// sequential windowed driver regardless of backend, so cache
+	// entries stay backend-shareable.
+	Preset string `json:"preset,omitempty"`
+	// SeedK, SeedMask, SeedMaxOcc, SeedBand and SeedPad override
+	// individual prefilter knobs (0/"" = preset default). Valid only
+	// with a preset.
+	SeedK      int    `json:"seed_k,omitempty"`
+	SeedMask   string `json:"seed_mask,omitempty"`
+	SeedMaxOcc int    `json:"seed_max_occ,omitempty"`
+	SeedBand   int    `json:"seed_band,omitempty"`
+	SeedPad    int    `json:"seed_pad,omitempty"`
 }
 
 // Request is the body of POST /v1/analyze.
@@ -138,6 +154,43 @@ func (r *Request) canonicalise(maxSeqLen int) error {
 	default:
 		return fmt.Errorf("lanes %d must be 0, 1, 4, or 8", r.Lanes)
 	}
+	if r.Preset != "" && !seedindex.ValidPreset(r.Preset) {
+		return fmt.Errorf("unknown preset %q (have fast, balanced, sensitive)", r.Preset)
+	}
+	if r.Preset == "" && (r.SeedK != 0 || r.SeedMask != "" || r.SeedMaxOcc != 0 ||
+		r.SeedBand != 0 || r.SeedPad != 0) {
+		return fmt.Errorf("seed_* parameters require a preset")
+	}
+	if r.Preset != "" {
+		// Resolve the preset to explicit knob values so two requests
+		// spelling the same prefilter differently share a cache key,
+		// and reject invalid overrides before they reach the engine.
+		alpha := m.Alphabet()
+		pcfg, err := seedindex.PresetConfig(r.Preset, seq.PrimaryLetters(alpha))
+		if err != nil {
+			return err
+		}
+		if r.SeedK > 0 {
+			pcfg.K = r.SeedK
+		}
+		if r.SeedMask != "" {
+			pcfg.Mask = r.SeedMask
+		}
+		if r.SeedMaxOcc > 0 {
+			pcfg.MaxOcc = r.SeedMaxOcc
+		}
+		if r.SeedBand > 0 {
+			pcfg.BandWidth = r.SeedBand
+		}
+		if r.SeedPad > 0 {
+			pcfg.Pad = r.SeedPad
+		}
+		if err := pcfg.Validate(); err != nil {
+			return err
+		}
+		r.SeedK, r.SeedMask, r.SeedMaxOcc = pcfg.K, pcfg.Mask, pcfg.MaxOcc
+		r.SeedBand, r.SeedPad = pcfg.BandWidth, pcfg.Pad
+	}
 	switch r.Backend {
 	case "":
 		r.Backend = BackendSequential
@@ -180,5 +233,14 @@ func CacheKey(r *Request) string {
 	fmt.Fprintf(h, "v1|%x|%s|%d|%d|%d|%d|%d|%d|%t|%t",
 		seqSum, r.Matrix, r.GapOpen, r.GapExt, r.Tops,
 		r.MinScore, r.MinPairs, r.Lanes, r.Striped, r.Speculative)
+	if r.Preset != "" {
+		// Prefilter requests key on the resolved knobs (canonicalise
+		// filled them from the preset), so an explicit spelling of a
+		// preset's defaults shares its cache entry. Requests without a
+		// preset keep the original key shape, preserving pre-existing
+		// persisted cache entries.
+		fmt.Fprintf(h, "|pf|%s|%d|%s|%d|%d|%d",
+			r.Preset, r.SeedK, r.SeedMask, r.SeedMaxOcc, r.SeedBand, r.SeedPad)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }

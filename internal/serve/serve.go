@@ -409,8 +409,11 @@ func (s *Server) runEngine(req *Request, rec *trace.Recorder, parent trace.SpanI
 		NumTops: req.Tops, MinScore: req.MinScore, MinPairs: req.MinPairs,
 		Lanes: req.Lanes, Striped: req.Striped,
 		Speculative: req.Speculative,
-		Spans:       rec,
-		SpanParent:  parent,
+		Preset:      req.Preset,
+		SeedK:       req.SeedK, SeedMask: req.SeedMask, SeedMaxOcc: req.SeedMaxOcc,
+		SeedBand: req.SeedBand, SeedPad: req.SeedPad,
+		Spans:      rec,
+		SpanParent: parent,
 	}
 	switch req.Backend {
 	case BackendParallel:

@@ -20,6 +20,12 @@ type Task struct {
 	// MemberScores holds per-member scores in group mode (Score is
 	// their maximum); nil in scalar mode.
 	MemberScores []int32
+	// Win, when non-nil, makes this a windowed candidate task from the
+	// seed-filter-extend prefilter: alignments are confined to Win.Rect
+	// and R is the window's bottom row (the alignment's split position).
+	// The initial Score of a windowed task is Win.Bound, an admissible
+	// upper bound, so best-first pruning stays sound.
+	Win *Window
 
 	index int // heap bookkeeping
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/repeats"
 	"repro/internal/scoring"
+	"repro/internal/seedindex"
 	"repro/internal/seq"
 	"repro/internal/stats"
 	"repro/internal/topalign"
@@ -73,6 +74,25 @@ type Options struct {
 	Speculative bool
 	// MinPairs filters top alignments during delineation (0 = default).
 	MinPairs int
+	// Preset selects the seed-filter-extend prefilter for long inputs
+	// (see internal/seedindex and DESIGN.md §13): "" runs the exact
+	// engine; "sensitive" also runs the exact engine (bit-identical by
+	// construction) but adds prefilter telemetry to the report; "fast"
+	// and "balanced" restrict alignment to seed-supported candidate
+	// windows, trading sensitivity for orders-of-magnitude less work.
+	// Fast and balanced always use the sequential windowed driver, so
+	// their results are deterministic regardless of Workers/Slaves;
+	// those knobs select the backend only for the exact presets.
+	Preset string
+	// SeedK, SeedMask, SeedMaxOcc, SeedBand and SeedPad override
+	// individual prefilter knobs (zero value = preset default): seed
+	// length, spaced-seed mask over {0,1}, per-seed occurrence cap,
+	// diagonal band width, and window padding.
+	SeedK      int
+	SeedMask   string
+	SeedMaxOcc int
+	SeedBand   int
+	SeedPad    int
 	// Metrics, when non-nil, receives live telemetry: the engine
 	// counters (bound under engine/) and, for cluster runs, per-rank
 	// dispatch counters and row-fetch latencies. See DESIGN.md §8.
@@ -133,6 +153,33 @@ type Stats struct {
 	RealignmentReduction float64
 }
 
+// PrefilterInfo reports the resolved seed-filter-extend configuration
+// and what each stage did. It is present only when Options.Preset was
+// set.
+type PrefilterInfo struct {
+	Preset    string `json:"preset"`
+	K         int    `json:"k"`
+	Mask      string `json:"mask,omitempty"`
+	MaxOcc    int    `json:"max_occ"`
+	BandWidth int    `json:"band_width"`
+	Pad       int    `json:"pad"`
+	// Stage counts: distinct seeds kept / dropped by the occurrence
+	// cap, indexed occurrences, seed match pairs, merged diagonal
+	// segments, chained clusters, and candidate windows extended.
+	Kmers        int `json:"kmers"`
+	DroppedKmers int `json:"dropped_kmers"`
+	Positions    int `json:"positions"`
+	Pairs        int `json:"pairs"`
+	Segments     int `json:"segments"`
+	Clusters     int `json:"clusters"`
+	Candidates   int `json:"candidates"`
+	// WindowCells is the total candidate window area; SequenceCells is
+	// n(n-1)/2, the exact engine's pair space — their ratio is the
+	// fraction of the problem the prefilter kept.
+	WindowCells   int64 `json:"window_cells"`
+	SequenceCells int64 `json:"sequence_cells"`
+}
+
 // Report is the result of one analysis.
 type Report struct {
 	SeqID string
@@ -144,6 +191,8 @@ type Report struct {
 	Tops     []TopAlignment
 	Families []RepeatFamily
 	Stats    Stats
+	// Prefilter is set when a seed-filter-extend preset was requested.
+	Prefilter *PrefilterInfo `json:"Prefilter,omitempty"`
 }
 
 // Analyze encodes residues under the matrix's alphabet and runs the
@@ -234,10 +283,43 @@ func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error
 	}
 
 	var (
-		res *topalign.Result
-		err error
+		pcfg seedindex.Config
+		err  error
+	)
+	if opt.Preset != "" {
+		pcfg, err = seedindex.PresetConfig(opt.Preset, seq.PrimaryLetters(exch.Alphabet()))
+		if err != nil {
+			return nil, err
+		}
+		if opt.SeedK > 0 {
+			pcfg.K = opt.SeedK
+		}
+		if opt.SeedMask != "" {
+			pcfg.Mask = opt.SeedMask
+		}
+		if opt.SeedMaxOcc > 0 {
+			pcfg.MaxOcc = opt.SeedMaxOcc
+		}
+		if opt.SeedBand > 0 {
+			pcfg.BandWidth = opt.SeedBand
+		}
+		if opt.SeedPad > 0 {
+			pcfg.Pad = opt.SeedPad
+		}
+		if err := pcfg.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	var (
+		res    *topalign.Result
+		pstats *seedindex.Stats
 	)
 	switch {
+	case opt.Preset == seedindex.PresetFast || opt.Preset == seedindex.PresetBalanced:
+		// Windowed extension through the best-first queue; always the
+		// sequential driver, so results are backend-independent.
+		res, pstats, err = seedindex.Find(q.Codes, pcfg, cfg)
 	case opt.Slaves > 0:
 		res, err = cluster.RunLocal(q.Codes,
 			cluster.Config{Top: cfg, Speculative: opt.Speculative, Metrics: opt.Metrics,
@@ -248,6 +330,14 @@ func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error
 			parallel.Config{Workers: opt.Workers, Speculative: opt.Speculative})
 	default:
 		res, err = topalign.Find(q.Codes, cfg)
+	}
+	if err == nil && opt.Preset == seedindex.PresetSensitive {
+		// Sensitive routes results through the exact engine above;
+		// the prefilter runs scan-only for telemetry, so its report is
+		// bit-identical to an unprefiltered run by construction.
+		ssp := opt.Spans.Start(esp.ID(), "prefilter.scan")
+		pstats, err = seedindex.Scan(q.Codes, pcfg, exch.MaxScore())
+		ssp.End()
 	}
 	esp.End()
 	if err != nil {
@@ -260,6 +350,17 @@ func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error
 	}
 
 	rep := &Report{SeqID: q.ID, Residues: q.String(), SeqLen: q.Len()}
+	if pstats != nil {
+		rep.Prefilter = &PrefilterInfo{
+			Preset: opt.Preset, K: pcfg.K, Mask: pcfg.Mask, MaxOcc: pcfg.MaxOcc,
+			BandWidth: pcfg.BandWidth, Pad: pcfg.Pad,
+			Kmers: pstats.Kmers, DroppedKmers: pstats.DroppedKmers,
+			Positions: pstats.Positions, Pairs: pstats.Pairs,
+			Segments: pstats.Segments, Clusters: pstats.Clusters,
+			Candidates: pstats.Candidates, WindowCells: pstats.WindowCells,
+			SequenceCells: pstats.SequenceCells,
+		}
+	}
 	for _, top := range res.Tops {
 		t := TopAlignment{Index: top.Index, Split: top.Split, Score: int(top.Score),
 			Pairs: make([]Pair, len(top.Pairs))}
