@@ -60,8 +60,32 @@ func main() {
 		longLen  = flag.Int("long-len", 0, "long-input phase: analyse one synthetic sequence of this length with the prefilter preset end-to-end before the load phase (0 disables)")
 		longPre  = flag.String("long-preset", "fast", "prefilter preset for the long-input phase: fast, balanced, sensitive")
 		outP     = flag.String("out", "-", "output JSON path (- for stdout)")
+
+		routerCmp = flag.String("router-compare", "", "router-scaling bench: comma-separated fleet sizes (e.g. 1,4); starts in-process shard fleets behind a router and emits a combined document")
+		shardRate = flag.Float64("shard-rate", 100, "(router bench) per-shard rate cap in rps — the declared node capacity the scaling is measured against")
+		killShard = flag.Bool("kill-shard", true, "(router bench) abruptly kill one shard halfway through the largest fleet's run and assert zero client-visible failures")
 	)
 	flag.Parse()
+
+	if *routerCmp != "" {
+		fleets, err := parseFleets(*routerCmp)
+		if err != nil {
+			fatal(err)
+		}
+		runRouterCompare(routerBenchConfig{
+			fleets:    fleets,
+			shardRate: *shardRate,
+			clients:   *clients,
+			duration:  *duration,
+			seqs:      *seqs,
+			length:    *length,
+			tops:      *tops,
+			seed:      *seed,
+			killShard: *killShard,
+			outPath:   *outP,
+		})
+		return
+	}
 
 	if *self {
 		a, shutdown, err := startSelf(*workers, *queue)

@@ -48,6 +48,8 @@ func main() {
 		dataDir = flag.String("data", "", "durability dir: persistent disk cache + crash-safe job journal (empty = in-memory only)")
 		cacheB  = flag.Int64("cache-bytes", 0, "result cache byte budget (0 = default)")
 		jobW    = flag.Int("job-workers", 0, "async job worker pool size (0 = default)")
+		rateL   = flag.Float64("rate-limit", 0, "admitted requests per second (0 = unlimited)")
+		rateB   = flag.Int("rate-burst", 0, "rate-limit burst size (0 = ceil(rate-limit))")
 	)
 	flag.Parse()
 
@@ -80,6 +82,8 @@ func main() {
 		Disk:           disk,
 		Jobs:           jobs,
 		JobWorkers:     *jobW,
+		RateLimit:      *rateL,
+		RateBurst:      *rateB,
 		Metrics:        reg,
 		Journal:        jnl,
 		Traces:         col,

@@ -52,12 +52,18 @@ type entry struct {
 	size int64
 }
 
-// call is one in-flight computation other requests can wait on.
+// call is one in-flight computation (or disk read) other requests can
+// wait on.
 type call struct {
 	done    chan struct{}
 	val     any
 	outcome Outcome
 	err     error
+	// absent marks a call that resolved without producing a value: a
+	// disk-only probe (Get) whose key was on neither tier. Waiters from
+	// GetOrCompute re-enter the lookup and run the computation
+	// themselves; waiters from Get report a miss.
+	absent bool
 }
 
 // DefaultCapacity is the entry capacity New(0) selects.
@@ -204,7 +210,10 @@ func (o Outcome) String() string {
 
 // Get returns the cached value for key, if any, marking it recently
 // used. A memory miss falls through to the disk tier (the value is
-// promoted into the LRU). It does not join in-flight computations.
+// promoted into the LRU). The fall-through goes through the in-flight
+// table: concurrent Gets for the same cold key share one checksummed
+// disk read, and a Get racing an in-flight computation waits for it
+// instead of reporting a spurious miss.
 func (c *Cache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
@@ -214,15 +223,37 @@ func (c *Cache) Get(key string) (any, bool) {
 		c.mu.Unlock()
 		return val, true
 	}
+	if cl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-cl.done
+		if cl.absent || cl.err != nil {
+			return nil, false
+		}
+		return cl.val, true
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
 	disk := c.disk
 	c.mu.Unlock()
+
 	if val, ok := disk.Get(key); ok {
-		c.mu.Lock()
-		c.insertLocked(key, val)
-		c.mu.Unlock()
-		return val, true
+		cl.val, cl.outcome = val, DiskHit
+	} else {
+		cl.absent = true
+		c.misses.Inc()
 	}
-	return nil, false
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if !cl.absent {
+		c.insertLocked(key, cl.val)
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	if cl.absent {
+		return nil, false
+	}
+	return cl.val, true
 }
 
 // GetOrCompute returns the value for key, computing it with fn on a
@@ -233,23 +264,32 @@ func (c *Cache) Get(key string) (any, bool) {
 // into the LRU (and, for computed []byte values, written through to
 // disk); an error is returned to every waiter and nothing is cached.
 func (c *Cache) GetOrCompute(key string, fn func() (any, error)) (any, Outcome, error) {
-	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		c.hits.Inc()
-		val := el.Value.(*entry).val
+	var cl *call
+	for cl == nil {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			c.hits.Inc()
+			val := el.Value.(*entry).val
+			c.mu.Unlock()
+			return val, Hit, nil
+		}
+		if waiting, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			<-waiting.done
+			if waiting.absent {
+				// The in-flight call was a disk-only probe (Get) that
+				// found nothing; it cannot satisfy a compute request.
+				// Re-enter the lookup and run the computation.
+				continue
+			}
+			return waiting.val, Shared, waiting.err
+		}
+		cl = &call{done: make(chan struct{}), outcome: Miss}
+		c.inflight[key] = cl
 		c.mu.Unlock()
-		return val, Hit, nil
 	}
-	if cl, ok := c.inflight[key]; ok {
-		c.mu.Unlock()
-		<-cl.done
-		return cl.val, Shared, cl.err
-	}
-	cl := &call{done: make(chan struct{}), outcome: Miss}
-	c.inflight[key] = cl
-	disk := c.disk
-	c.mu.Unlock()
+	disk := c.Disk()
 
 	if val, ok := disk.Get(key); ok {
 		cl.val, cl.outcome = val, DiskHit

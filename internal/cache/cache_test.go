@@ -118,6 +118,98 @@ func TestSingleflightDedup(t *testing.T) {
 	}
 }
 
+// TestConcurrentGetSharesDiskRead is the regression test for the disk
+// fall-through bypassing the singleflight table: concurrent Gets for
+// the same cold key must share exactly one checksummed disk read, every
+// caller must see the value, and the outcome must be counted as a disk
+// hit (not silently unrecorded).
+func TestConcurrentGetSharesDiskRead(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("k", []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	c := New(8)
+	c.AttachDisk(d)
+	reg := obs.NewRegistry()
+	c.Bind(reg)
+
+	const waiters = 32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, ok := c.Get("k")
+			if !ok {
+				t.Errorf("waiter %d: miss on disk-resident key", i)
+				return
+			}
+			if string(v.([]byte)) != "persisted" {
+				t.Errorf("waiter %d: got %q", i, v)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["cache/disk_hits"]; got != 1 {
+		t.Errorf("disk_hits = %d, want 1 (singleflight should share one read)", got)
+	}
+	if got := snap.Counters["cache/misses"]; got != 0 {
+		t.Errorf("misses = %d, want 0 (key was on disk)", got)
+	}
+	// The disk hit promotes the value: a later Get is a memory hit.
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("promoted key missing from memory tier")
+	}
+	if snap := reg.Snapshot(); snap.Counters["cache/hits"] == 0 {
+		t.Error("promotion did not register a memory hit")
+	}
+}
+
+// TestGetMissCounted pins that a full miss through Get (neither tier)
+// increments the miss counter exactly once per probe.
+func TestGetMissCounted(t *testing.T) {
+	c := New(8)
+	reg := obs.NewRegistry()
+	c.Bind(reg)
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("unexpected hit")
+	}
+	if got := reg.Snapshot().Counters["cache/misses"]; got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+}
+
+// TestGetAbsentThenCompute exercises the absent-call handoff: a Get
+// probe that finds nothing must not poison a concurrent GetOrCompute,
+// which re-enters the lookup and runs the computation itself.
+func TestGetAbsentThenCompute(t *testing.T) {
+	c := New(8)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); c.Get(key) }()
+		var v any
+		var err error
+		go func() {
+			defer wg.Done()
+			v, _, err = c.GetOrCompute(key, func() (any, error) { return "computed", nil })
+		}()
+		wg.Wait()
+		if err != nil || v != "computed" {
+			t.Fatalf("iter %d: v=%v err=%v", i, v, err)
+		}
+	}
+}
+
 // inflightLen is a test helper reading the in-flight map size.
 func (c *Cache) inflightLen() int {
 	c.mu.Lock()

@@ -134,7 +134,7 @@ const (
 
 // jot records a scheduling event in the run journal (nil-safe).
 func (m *master) jot(kind obs.EventKind, rank int, r int32, arg int64) {
-	m.cfg.Journal.Record(kind, int32(rank), r, arg)
+	m.cfg.Journal.Record(kind, int32(rank), int64(r), arg)
 }
 
 // bump increments a named counter in the registry (nil-safe).

@@ -16,16 +16,20 @@ import (
 //	          u32 nGauges   | (str name, i64 value)*
 //	          u32 nHists    | (str name, i64 count, i64 sum,
 //	                           u32 nBuckets, i64*nBuckets)*
-//	journal:  magic "OBJ1"
+//	journal:  magic "OBJ2"
 //	          u32 nEvents | (u64 seq, i64 at, u8 kind, i32 rank,
-//	                         i32 r, i64 arg)*
+//	                         i64 r, i64 arg)*
+//
+// OBJ1 (i32 r) frames are still decoded — R sign-extends — so journals
+// persisted before the widening remain readable.
 //
 // Decoders bound every length against the remaining input so hostile
 // frames cannot force large allocations.
 
 var (
-	snapMagic    = [4]byte{'O', 'B', 'S', '1'}
-	journalMagic = [4]byte{'O', 'B', 'J', '1'}
+	snapMagic     = [4]byte{'O', 'B', 'S', '1'}
+	journalMagic  = [4]byte{'O', 'B', 'J', '2'}
+	journalMagic1 = [4]byte{'O', 'B', 'J', '1'}
 )
 
 // maxName bounds one metric name; maxCount bounds one collection.
@@ -207,17 +211,30 @@ func EncodeEvents(events []Event) []byte {
 		b = appendI64(b, ev.At)
 		b = append(b, byte(ev.Kind))
 		b = appendU32(b, uint32(ev.Rank))
-		b = appendU32(b, uint32(ev.R))
+		b = appendI64(b, ev.R)
 		b = appendI64(b, ev.Arg)
 	}
 	return b
 }
 
-// DecodeEvents parses the stable binary journal format.
+// DecodeEvents parses the stable binary journal format. Both OBJ2
+// (current, i64 R) and legacy OBJ1 (i32 R) frames are accepted.
 func DecodeEvents(b []byte) ([]Event, error) {
+	wideR := true
+	if len(b) >= 4 && [4]byte(b[:4]) == journalMagic1 {
+		wideR = false
+	}
 	r := &reader{b: b}
-	r.magic(journalMagic)
-	n := r.count(33)
+	if wideR {
+		r.magic(journalMagic)
+	} else {
+		r.magic(journalMagic1)
+	}
+	minElem := 37
+	if !wideR {
+		minElem = 33
+	}
+	n := r.count(minElem)
 	events := make([]Event, 0, n)
 	for i := 0; i < n && r.err == nil; i++ {
 		ev := Event{
@@ -225,9 +242,13 @@ func DecodeEvents(b []byte) ([]Event, error) {
 			At:   r.i64(),
 			Kind: EventKind(r.u8()),
 			Rank: int32(r.u32()),
-			R:    int32(r.u32()),
-			Arg:  r.i64(),
 		}
+		if wideR {
+			ev.R = r.i64()
+		} else {
+			ev.R = int64(int32(r.u32()))
+		}
+		ev.Arg = r.i64()
 		if r.err == nil {
 			events = append(events, ev)
 		}

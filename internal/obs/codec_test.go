@@ -54,6 +54,9 @@ func TestEventsCodecRoundTrip(t *testing.T) {
 		{Seq: 2, At: 25, Kind: EvDispatch, Rank: 2, R: 5, Arg: 0},
 		{Seq: 3, At: 99, Kind: EvAccept, Rank: -1, R: 5, Arg: 1234},
 		{Seq: 4, At: 120, Kind: EvRankDown, Rank: 1, R: -1, Arg: 3},
+		// Request sequence past 2^31: must survive the round trip
+		// unwrapped (the int32 truncation regression).
+		{Seq: 5, At: 130, Kind: EvServe, Rank: -1, R: 1 << 33, Arg: 42},
 	}
 	got, err := DecodeEvents(EncodeEvents(want))
 	if err != nil {
@@ -71,6 +74,40 @@ func TestEventsCodecEmpty(t *testing.T) {
 	}
 	if len(got) != 0 {
 		t.Fatalf("empty round trip = %+v", got)
+	}
+}
+
+// TestDecodeLegacyOBJ1 pins backward compatibility: journal frames
+// written before R was widened to 64 bits (magic OBJ1, i32 r field)
+// still decode, with R sign-extended.
+func TestDecodeLegacyOBJ1(t *testing.T) {
+	b := []byte("OBJ1")
+	b = appendU32(b, 2) // two events
+	// {Seq: 7, At: 11, Kind: EvAccept, Rank: -1, R: 5, Arg: 900}
+	b = appendI64(b, 7)
+	b = appendI64(b, 11)
+	b = append(b, byte(EvAccept))
+	b = appendU32(b, 0xFFFFFFFF)
+	b = appendU32(b, 5)
+	b = appendI64(b, 900)
+	// {Seq: 8, At: 12, Kind: EvRankDown, Rank: 1, R: -1, Arg: 3}
+	b = appendI64(b, 8)
+	b = appendI64(b, 12)
+	b = append(b, byte(EvRankDown))
+	b = appendU32(b, 1)
+	b = appendU32(b, 0xFFFFFFFF)
+	b = appendI64(b, 3)
+
+	got, err := DecodeEvents(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Seq: 7, At: 11, Kind: EvAccept, Rank: -1, R: 5, Arg: 900},
+		{Seq: 8, At: 12, Kind: EvRankDown, Rank: 1, R: -1, Arg: 3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("legacy decode mismatch:\n got %+v\nwant %+v", got, want)
 	}
 }
 

@@ -18,7 +18,7 @@ func TestDebugServerEndpoints(t *testing.T) {
 	reg.Histogram("engine/align_ns").Observe(time.Millisecond)
 	jnl := NewJournal(16)
 	for i := 0; i < 20; i++ { // overflow the ring so dropped > 0
-		jnl.Record(EvAccept, -1, int32(i), int64(100+i))
+		jnl.Record(EvAccept, -1, int64(i), int64(100+i))
 	}
 
 	srv, err := StartDebug("127.0.0.1:0", reg, jnl, nil)

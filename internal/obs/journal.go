@@ -56,6 +56,7 @@ const (
 	ShedQueueFull int64 = 1 // admission queue at capacity (429)
 	ShedDeadline  int64 = 2 // deadline expired before a worker picked it up
 	ShedDraining  int64 = 3 // server draining, no longer admitting
+	ShedRateLimit int64 = 4 // admission token bucket empty (429)
 )
 
 // String names the kind for /trace output.
@@ -96,13 +97,15 @@ func (k EventKind) String() string {
 // Event is one journal entry. At is nanoseconds since the journal was
 // created, taken from the monotonic clock, so events can be ordered and
 // latencies derived even if the wall clock steps. Rank is -1 for local
-// (non-cluster) events; Arg is kind-specific.
+// (non-cluster) events; Arg is kind-specific. R is 64-bit: the serving
+// layer records its monotone request sequence here, which outlives
+// 2^31 requests under sustained multi-shard load.
 type Event struct {
 	Seq  uint64    `json:"seq"`
 	At   int64     `json:"at_ns"`
 	Kind EventKind `json:"kind"`
 	Rank int32     `json:"rank"`
-	R    int32     `json:"r"`
+	R    int64     `json:"r"`
 	Arg  int64     `json:"arg"`
 }
 
@@ -135,7 +138,7 @@ func NewJournal(capacity int) *Journal {
 
 // Record appends one event, stamping it with the next sequence number
 // and the monotonic time since the journal's creation.
-func (j *Journal) Record(kind EventKind, rank, r int32, arg int64) {
+func (j *Journal) Record(kind EventKind, rank int32, r, arg int64) {
 	if j == nil {
 		return
 	}

@@ -290,7 +290,7 @@ func TestRegistryConcurrentGetOrCreate(t *testing.T) {
 func TestJournalRecordAndTail(t *testing.T) {
 	j := NewJournal(8)
 	for i := 0; i < 5; i++ {
-		j.Record(EvEnqueue, -1, int32(i), 0)
+		j.Record(EvEnqueue, -1, int64(i), 0)
 	}
 	evs := j.Events()
 	if len(evs) != 5 {
@@ -300,7 +300,7 @@ func TestJournalRecordAndTail(t *testing.T) {
 		if ev.Seq != uint64(i+1) {
 			t.Fatalf("seq[%d] = %d, want %d", i, ev.Seq, i+1)
 		}
-		if ev.R != int32(i) {
+		if ev.R != int64(i) {
 			t.Fatalf("r[%d] = %d", i, ev.R)
 		}
 		if i > 0 && ev.At < evs[i-1].At {
@@ -322,7 +322,7 @@ func TestJournalRecordAndTail(t *testing.T) {
 func TestJournalRingDrops(t *testing.T) {
 	j := NewJournal(4)
 	for i := 0; i < 10; i++ {
-		j.Record(EvAccept, 0, int32(i), int64(i))
+		j.Record(EvAccept, 0, int64(i), int64(i))
 	}
 	if j.Len() != 4 {
 		t.Fatalf("len = %d, want 4", j.Len())
@@ -333,7 +333,7 @@ func TestJournalRingDrops(t *testing.T) {
 	evs := j.Events()
 	// Oldest retained event is #7 (r=6).
 	for i, ev := range evs {
-		if ev.R != int32(6+i) {
+		if ev.R != int64(6+i) {
 			t.Fatalf("ring order wrong: %+v", evs)
 		}
 	}
@@ -360,7 +360,7 @@ func TestJournalConcurrentRecord(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
-				j.Record(EvDispatch, int32(w), int32(i), 0)
+				j.Record(EvDispatch, int32(w), int64(i), 0)
 				if i%16 == 0 {
 					_ = j.Tail(8)
 					_ = j.Len()

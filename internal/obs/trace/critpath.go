@@ -21,6 +21,7 @@ import (
 
 // Categories, in report order.
 const (
+	CatRouter    = "router"      // gateway routing: ring lookup, singleflight join
 	CatQueue     = "queue-wait"  // admission queue (serve)
 	CatCache     = "cache"       // cache lookup / singleflight wait
 	CatDispatch  = "dispatch"    // engine + cluster scheduling overhead
@@ -34,7 +35,7 @@ const (
 
 // categoryOrder fixes the report ordering.
 var categoryOrder = []string{
-	CatQueue, CatCache, CatDispatch, CatComm, CatKernel,
+	CatRouter, CatQueue, CatCache, CatDispatch, CatComm, CatKernel,
 	CatSpecWaste, CatStall, CatServer, CatOther,
 }
 
@@ -44,6 +45,14 @@ func Category(name string) string {
 	switch name {
 	case "request":
 		return CatServer
+	case "router.route":
+		// Router self-time: ring lookup, singleflight bookkeeping,
+		// response fan-in. The upstream HTTP hop nests inside it.
+		return CatRouter
+	case "router.upstream":
+		// Wire time router -> shard; the shard's own "request" span
+		// (joined via traceparent) nests inside and claims its share.
+		return CatComm
 	case "queue.wait":
 		return CatQueue
 	case "cache.lookup", "cache.wait":

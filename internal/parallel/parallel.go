@@ -202,7 +202,7 @@ func (st *sched) worker(sc *topalign.Scratch) {
 		if snap.tops != st.snap.Load().tops {
 			// The triangle advanced while we computed: the result is a
 			// stale upper bound, the paper's speculation overhead.
-			st.e.Config().Trace.Record(obs.EvSpecWaste, -1, int32(t.R), int64(snap.tops))
+			st.e.Config().Trace.Record(obs.EvSpecWaste, -1, int64(t.R), int64(snap.tops))
 		}
 		st.queue.Push(t)
 		st.cond.Signal()

@@ -179,11 +179,19 @@ func Delineate(m int, tops []topalign.TopAlignment, opt Options) ([]Family, erro
 		}
 		out = append(out, fam)
 	}
+	// Full tie-break chain: out was assembled from a map range, so any
+	// comparator tie would surface that random order to callers.
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Score != out[b].Score {
 			return out[a].Score > out[b].Score
 		}
-		return out[a].Copies[0].Start < out[b].Copies[0].Start
+		if out[a].Copies[0].Start != out[b].Copies[0].Start {
+			return out[a].Copies[0].Start < out[b].Copies[0].Start
+		}
+		if out[a].Copies[0].End != out[b].Copies[0].End {
+			return out[a].Copies[0].End < out[b].Copies[0].End
+		}
+		return len(out[a].Copies) < len(out[b].Copies)
 	})
 	return out, nil
 }
@@ -201,8 +209,20 @@ func resegmentTandem(fam *Family, tops map[int]bool, kept []topalign.TopAlignmen
 	if len(fam.Copies) == 0 {
 		return
 	}
-	period := 0
+	// Iterate supporting alignments in index order: map range order is
+	// random per execution, and both the period min and the anchor
+	// argmax below break ties by encounter order. A tie decided by map
+	// order made Analyze return different family boundaries run to run
+	// — fatal for the serving layer, whose shared cache and distributed
+	// singleflight assume bit-identical recomputation.
+	idxs := make([]int, 0, len(tops))
 	for t := range tops {
+		idxs = append(idxs, t)
+	}
+	sort.Ints(idxs)
+
+	period := 0
+	for _, t := range idxs {
 		if lag := medianLag(kept[t].Pairs); period == 0 || lag < period {
 			period = lag
 		}
@@ -228,9 +248,9 @@ func resegmentTandem(fam *Family, tops map[int]bool, kept []topalign.TopAlignmen
 	// unit boundaries phase-align with the actual repeat rather than
 	// with flank noise the weakest alignments dragged into the hull
 	best := -1
-	for t := range tops {
+	for _, t := range idxs {
 		if best < 0 || kept[t].Score > kept[best].Score {
-			best = t
+			best = t // ties keep the lowest index (strongest-first order of kept)
 		}
 	}
 	anchor := kept[best].Pairs[0].I

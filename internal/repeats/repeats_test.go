@@ -297,3 +297,44 @@ func pairRange(i0, j0, n int) []topalign.Pair {
 	}
 	return out
 }
+
+// Delineation must be bit-identical across repeated runs. The
+// resegmentation anchor used to be chosen by a strict-greater scan over
+// a map range, so equal-score alignments tied and the winner — hence
+// every unit boundary — followed Go's per-execution random map order.
+// Two equal-score tops over one tandem region reproduce that tie.
+func TestDelineateDeterministic(t *testing.T) {
+	tops := []topalign.TopAlignment{
+		// Same tandem region, two different lags, identical scores. The
+		// anchor (strongest alignment's start) is ambiguous on purpose.
+		{Index: 1, Score: 90, Pairs: pairRange(3, 13, 30)},
+		{Index: 2, Score: 90, Pairs: pairRange(7, 27, 26)},
+	}
+	first, err := Delineate(60, tops, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 50; run++ {
+		fams, err := Delineate(60, tops, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fams) != len(first) {
+			t.Fatalf("run %d: %d families, first run had %d", run, len(fams), len(first))
+		}
+		for i := range fams {
+			if fams[i].Score != first[i].Score || fams[i].Support != first[i].Support {
+				t.Fatalf("run %d family %d: %+v != %+v", run, i, fams[i], first[i])
+			}
+			if len(fams[i].Copies) != len(first[i].Copies) {
+				t.Fatalf("run %d family %d: %d copies != %d", run, i, len(fams[i].Copies), len(first[i].Copies))
+			}
+			for c := range fams[i].Copies {
+				if fams[i].Copies[c] != first[i].Copies[c] {
+					t.Fatalf("run %d family %d copy %d: %v != %v (anchor tie broken by map order)",
+						run, i, c, fams[i].Copies[c], first[i].Copies[c])
+				}
+			}
+		}
+	}
+}

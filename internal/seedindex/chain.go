@@ -110,6 +110,15 @@ func Chain(x *Index, cfg Config) ChainResult {
 		cl := Cluster{IStart: segs[k].Start, IEnd: segs[k].End,
 			DMin: segs[k].D, DMax: segs[k].D,
 			Covered: segs[k].Covered, Seeds: segs[k].Seeds}
+		// covEnd tracks the union sweep over i-ranges: band-mates on
+		// nearby diagonals overlap in i, and summing their Covered
+		// outright would double-count stacked segments — an inflated
+		// cluster could then crowd out genuinely better-supported ones
+		// under MaxCandidates and sneak past MinMatched. Each segment
+		// contributes at most the length of its not-yet-covered i-suffix,
+		// so Covered never exceeds IEnd-IStart (segments arrive sorted by
+		// Start within the band, making the one-pass sweep exact).
+		covEnd := segs[k].End
 		k++
 		for k < len(segs) && segs[k].D/cfg.BandWidth == band && segs[k].Start <= cl.IEnd+cfg.ChainGap {
 			s := segs[k]
@@ -122,7 +131,18 @@ func Chain(x *Index, cfg Config) ChainResult {
 			if s.D > cl.DMax {
 				cl.DMax = s.D
 			}
-			cl.Covered += s.Covered
+			from := s.Start
+			if covEnd > from {
+				from = covEnd
+			}
+			if newLen := s.End - from; newLen > 0 {
+				cov := s.Covered
+				if cov > newLen {
+					cov = newLen
+				}
+				cl.Covered += cov
+				covEnd = s.End
+			}
 			cl.Seeds += s.Seeds
 			k++
 		}

@@ -46,7 +46,20 @@ func TestCandidateBoundsAdmissible(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					cands := Candidates(Chain(x, cfg), cfg, len(s), m.MaxScore())
+					ch := Chain(x, cfg)
+					for _, cl := range ch.Clusters {
+						// Union coverage: a cluster cannot claim more
+						// covered residues than its i-extent holds.
+						if cl.Covered > cl.IEnd-cl.IStart {
+							t.Fatalf("cluster coverage exceeds i-extent: covered %d > %d\n"+
+								"reproducer: matrix=%s preset=%s profile=%d spec=%+v cluster=%+v",
+								cl.Covered, cl.IEnd-cl.IStart, mat, preset, pi, spec, cl)
+						}
+						if cl.Covered <= 0 {
+							t.Fatalf("non-positive cluster coverage %d: %+v", cl.Covered, cl)
+						}
+					}
+					cands := Candidates(ch, cfg, len(s), m.MaxScore())
 					for _, c := range cands {
 						if err := c.Rect.Validate(len(s)); err != nil {
 							t.Fatalf("reproducer: matrix=%s preset=%s profile=%d spec=%+v window=%+v: %v",

@@ -209,6 +209,15 @@ func (r *Request) canonicalise(maxSeqLen int) error {
 	return nil
 }
 
+// Canonicalise validates the request and resolves defaults in place,
+// exactly as the analyze handler does before keying the cache. The
+// router tier calls it so router and shard derive identical cache keys
+// from identical requests; maxSeqLen <= 0 skips the length check (the
+// shard still enforces its own limit).
+func (r *Request) Canonicalise(maxSeqLen int) error {
+	return r.canonicalise(maxSeqLen)
+}
+
 // defaultGap mirrors the per-matrix gap defaults of package repro.
 func defaultGap(m *scoring.Matrix) scoring.Gap {
 	switch m.Name() {

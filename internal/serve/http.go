@@ -79,9 +79,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	state := "ok"
 	if draining {
-		// Draining is how load balancers learn to stop routing here.
+		// Draining is how load balancers learn to stop routing here. The
+		// Retry-After hint matches the one the analyze shed path computes,
+		// so pollers and shed clients back off consistently.
 		status = http.StatusServiceUnavailable
 		state = "draining"
+		w.Header().Set("Retry-After", s.retryAfter(true))
 	}
 	writeJSON(w, status, struct {
 		Status string `json:"status"`
@@ -149,7 +152,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		root:     root.ID(),
 		qspan:    rec.Start(root.ID(), "queue.wait"),
 	}
-	if ok, cause := s.admit(j); !ok {
+	if ok, cause, wait := s.admit(j); !ok {
 		j.qspan.End()
 		root.End()
 		s.recordShed(j.seq, cause)
@@ -157,6 +160,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		case obs.ShedDraining:
 			w.Header().Set("Retry-After", s.retryAfter(true))
 			writeError(w, http.StatusServiceUnavailable, "server is draining")
+		case obs.ShedRateLimit:
+			// The bucket knows exactly when the next token accrues; round
+			// up to whole seconds as Retry-After requires.
+			secs := int((wait + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
 		default:
 			w.Header().Set("Retry-After", s.retryAfter(false))
 			writeError(w, http.StatusTooManyRequests, "admission queue full")

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a classic token-bucket admission limiter: tokens
+// accrue at rate per second up to burst, and each admitted request
+// spends one. It models a shard's configured capacity independently of
+// the queue bound — the queue protects memory, the bucket protects the
+// engine from sustained overload and gives a multi-shard deployment a
+// well-defined per-node throughput to balance against.
+//
+// The clock is injected (now parameters) so tests are deterministic.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket returns a bucket admitting rate requests per second
+// with the given burst (burst < 1 is raised to 1 so a fresh bucket
+// admits at least one request). A nil bucket admits everything.
+func newTokenBucket(rate float64, burst int, now time.Time) *tokenBucket {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, last: now}
+}
+
+// allow spends one token if available. On refusal it also reports how
+// long until the next token accrues, for the Retry-After hint.
+func (tb *tokenBucket) allow(now time.Time) (ok bool, wait time.Duration) {
+	if tb == nil {
+		return true, 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if dt := now.Sub(tb.last).Seconds(); dt > 0 {
+		tb.tokens += dt * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	// Monotonic-clock now never runs backwards; equal timestamps (coarse
+	// clocks) simply refill nothing.
+	tb.last = now
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true, 0
+	}
+	deficit := 1 - tb.tokens
+	return false, time.Duration(deficit / tb.rate * float64(time.Second))
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestTokenBucket(t *testing.T) {
+	t0 := time.Now()
+	tb := newTokenBucket(10, 2, t0) // 10/s, burst 2
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := tb.allow(t0); !ok {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	ok, wait := tb.allow(t0)
+	if ok {
+		t.Fatal("third immediate request admitted past burst")
+	}
+	if wait <= 0 || wait > 100*time.Millisecond {
+		t.Fatalf("wait hint = %v, want (0, 100ms]", wait)
+	}
+	// One token accrues every 100ms at rate 10.
+	if ok, _ := tb.allow(t0.Add(100 * time.Millisecond)); !ok {
+		t.Fatal("token not refilled after 1/rate")
+	}
+	if ok, _ := tb.allow(t0.Add(100 * time.Millisecond)); ok {
+		t.Fatal("double-spend of one refilled token")
+	}
+	// Refill caps at burst: after a long idle only 2 tokens exist.
+	late := t0.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := tb.allow(late); !ok {
+			t.Fatalf("post-idle token %d refused", i)
+		}
+	}
+	if ok, _ := tb.allow(late); ok {
+		t.Fatal("refill exceeded burst")
+	}
+	// Nil bucket admits everything.
+	var nb *tokenBucket
+	if ok, _ := nb.allow(t0); !ok {
+		t.Fatal("nil bucket refused")
+	}
+}
+
+// TestRateLimitSheds drives a server whose bucket admits exactly one
+// request: the second request in the same instant must shed with 429,
+// a Retry-After hint, and the rate-limit shed counter.
+func TestRateLimitSheds(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, Config{
+		Workers: 1, MaxSequenceLen: 4096,
+		RateLimit: 0.5, RateBurst: 1,
+		Metrics: reg,
+	})
+	req := Request{Sequence: "ATGCATGCATGCATGCATGC", Params: Params{Matrix: "paper-dna"}}
+	resp, _ := post(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request = %d, want 200", resp.StatusCode)
+	}
+	// Cached or not, the second request must be refused at admission...
+	resp2, _ := post(t, ts.URL, req)
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request = %d, want 429", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Error("rate-limit shed without Retry-After")
+	}
+	if got := reg.Snapshot().Counters["serve/shed_rate_limit"]; got != 1 {
+		t.Errorf("shed_rate_limit = %d, want 1", got)
+	}
+}

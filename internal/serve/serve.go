@@ -28,6 +28,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -83,6 +84,15 @@ type Config struct {
 	// JobRetryBase is the base of the jittered exponential backoff
 	// between retry-chain attempts (0 = 500ms; tests shrink it).
 	JobRetryBase time.Duration
+	// RateLimit caps admitted /v1/analyze requests per second with a
+	// token bucket (0 = unlimited). Unlike QueueDepth, which bounds
+	// memory, the rate limit bounds sustained engine load — it gives a
+	// shard a declared capacity a router tier can balance against.
+	// Requests over the limit are shed with 429 + Retry-After.
+	RateLimit float64
+	// RateBurst is the token-bucket burst size (0 = ceil(RateLimit),
+	// minimum 1). Ignored when RateLimit is 0.
+	RateBurst int
 	// Metrics receives serving telemetry under the serve/ and cache/
 	// namespaces; may be nil.
 	Metrics *obs.Registry
@@ -118,16 +128,20 @@ func (c Config) withDefaults() Config {
 	if c.JobRetryBase <= 0 {
 		c.JobRetryBase = 500 * time.Millisecond
 	}
+	if c.RateLimit > 0 && c.RateBurst <= 0 {
+		c.RateBurst = int(math.Ceil(c.RateLimit))
+	}
 	return c
 }
 
 // Server is the serving layer. Create with New, start the worker pool
 // with Start, expose Handler over HTTP, stop with Drain.
 type Server struct {
-	cfg   Config
-	cache *cache.Cache
-	queue chan *job
-	jnl   *obs.Journal
+	cfg    Config
+	cache  *cache.Cache
+	queue  chan *job
+	jnl    *obs.Journal
+	bucket *tokenBucket // nil = no rate limit
 
 	// draining is read lock-free on hot and health paths. The write
 	// side still serialises with admitMu: Drain sets the flag, then
@@ -158,6 +172,7 @@ type Server struct {
 	shedQueueFull *obs.Counter
 	shedDeadline  *obs.Counter
 	shedDraining  *obs.Counter
+	shedRateLimit *obs.Counter
 	queueDepth    *obs.Gauge
 	admissionNS   *obs.Histogram
 	e2eNS         *obs.Histogram
@@ -188,6 +203,7 @@ func New(cfg Config) *Server {
 		shedQueueFull: cfg.Metrics.Counter("serve/shed_queue_full"),
 		shedDeadline:  cfg.Metrics.Counter("serve/shed_deadline"),
 		shedDraining:  cfg.Metrics.Counter("serve/shed_draining"),
+		shedRateLimit: cfg.Metrics.Counter("serve/shed_rate_limit"),
 		queueDepth:    cfg.Metrics.Gauge("serve/queue_depth"),
 		admissionNS:   cfg.Metrics.Histogram("serve/admission_wait_ns"),
 		e2eNS:         cfg.Metrics.Histogram("serve/e2e_ns"),
@@ -201,6 +217,9 @@ func New(cfg Config) *Server {
 		jobsFailed:    cfg.Metrics.Counter("serve/jobs_failed"),
 		jobsRetries:   cfg.Metrics.Counter("serve/jobs_retries"),
 		jobsRecovered: cfg.Metrics.Counter("serve/jobs_recovered"),
+	}
+	if cfg.RateLimit > 0 {
+		s.bucket = newTokenBucket(cfg.RateLimit, cfg.RateBurst, time.Now())
 	}
 	if cfg.CacheEntries >= 0 || cfg.Jobs != nil {
 		entries := cfg.CacheEntries
@@ -304,25 +323,36 @@ func (s *Server) recordShed(seq int64, cause int64) {
 		s.shedDeadline.Inc()
 	case obs.ShedDraining:
 		s.shedDraining.Inc()
+	case obs.ShedRateLimit:
+		s.shedRateLimit.Inc()
 	}
-	s.jnl.Record(obs.EvShed, -1, int32(seq), cause)
+	s.jnl.Record(obs.EvShed, -1, int64(seq), cause)
 }
 
-// admit places a job on the queue, or reports the shed cause.
-func (s *Server) admit(j *job) (ok bool, cause int64) {
+// admit places a job on the queue, or reports the shed cause. For
+// rate-limit sheds, wait is the time until the next token accrues —
+// the Retry-After hint (zero for other causes; the queue-full hint is
+// latency-derived instead, see retryAfter).
+func (s *Server) admit(j *job) (ok bool, cause int64, wait time.Duration) {
 	s.admitMu.RLock()
 	defer s.admitMu.RUnlock()
 	if s.draining.Load() {
-		return false, obs.ShedDraining
+		return false, obs.ShedDraining, 0
+	}
+	// The bucket is checked before the queue send so a shed request
+	// never consumes queue capacity; conversely a queue-full shed does
+	// not refund its token — both are deliberate admission spend.
+	if ok, wait := s.bucket.allow(time.Now()); !ok {
+		return false, obs.ShedRateLimit, wait
 	}
 	select {
 	case s.queue <- j:
 		s.admitted.Inc()
 		s.queueDepth.Add(1)
-		s.jnl.Record(obs.EvAdmit, -1, int32(j.seq), int64(len(s.queue)))
-		return true, 0
+		s.jnl.Record(obs.EvAdmit, -1, int64(j.seq), int64(len(s.queue)))
+		return true, 0, 0
 	default:
-		return false, obs.ShedQueueFull
+		return false, obs.ShedQueueFull, 0
 	}
 }
 
@@ -346,7 +376,7 @@ func (s *Server) worker() {
 			s.completed.Inc()
 			e2e := time.Since(j.enqueued)
 			s.e2eNS.Observe(e2e)
-			s.jnl.Record(obs.EvServe, -1, int32(j.seq), e2e.Nanoseconds())
+			s.jnl.Record(obs.EvServe, -1, int64(j.seq), e2e.Nanoseconds())
 		}
 		j.done <- jobResult{report: rep, outcome: outcome, err: err}
 	}
@@ -389,7 +419,7 @@ func (s *Server) compute(j *job) ([]byte, cache.Outcome, error) {
 	switch outcome {
 	case cache.Shared:
 		csp.SetName("cache.wait")
-		s.jnl.Record(obs.EvBatch, -1, int32(j.seq), 0)
+		s.jnl.Record(obs.EvBatch, -1, int64(j.seq), 0)
 	case cache.DiskHit:
 		csp.SetName("cache.disk")
 	}

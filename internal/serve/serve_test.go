@@ -264,6 +264,9 @@ func TestGracefulDrain(t *testing.T) {
 	if hresp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("healthz after drain = %d, want 503", hresp.StatusCode)
 	}
+	if hresp.Header.Get("Retry-After") == "" {
+		t.Error("draining healthz without Retry-After")
+	}
 	resp, _ := post(t, ts.URL, Request{Sequence: "ATGCATGCATGC", Params: Params{Matrix: "paper-dna"}})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("analyze after drain = %d, want 503", resp.StatusCode)

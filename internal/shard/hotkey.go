@@ -1,0 +1,89 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// hotTracker detects hot keys — keys whose request rate crosses a
+// threshold — so the router can fan them out over R replicas instead
+// of hammering one shard. Consistent hashing concentrates each key on
+// one shard by design (that is the cache-capacity win); a viral
+// sequence would turn that shard into the fleet bottleneck. Replicating
+// only the measured-hot keys caps the duplication cost at exactly the
+// keys that need it.
+//
+// Rates use fixed one-second windows with a carry: a key is hot when
+// count(current window) + count(previous window) reaches the
+// threshold, which smooths the window boundary without per-request
+// timestamps. The map self-prunes: entries idle for two full windows
+// are dropped on the next sweep, bounding memory by the working set.
+type hotTracker struct {
+	threshold int // requests per window that makes a key hot; <= 0 disables
+	window    time.Duration
+
+	mu      sync.Mutex
+	keys    map[string]*keyRate
+	sweepAt time.Time
+}
+
+type keyRate struct {
+	cur, prev int
+	winStart  time.Time
+	rr        uint64 // round-robin cursor over the replica set
+}
+
+func newHotTracker(threshold int, window time.Duration) *hotTracker {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &hotTracker{
+		threshold: threshold,
+		window:    window,
+		keys:      make(map[string]*keyRate),
+	}
+}
+
+// touch counts one request for key and reports whether the key is hot
+// plus the round-robin cursor the router uses to pick among replicas.
+func (h *hotTracker) touch(key string, now time.Time) (hot bool, rr uint64) {
+	if h == nil || h.threshold <= 0 {
+		return false, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	kr := h.keys[key]
+	if kr == nil {
+		kr = &keyRate{winStart: now}
+		h.keys[key] = kr
+	}
+	for now.Sub(kr.winStart) >= h.window {
+		kr.prev, kr.cur = kr.cur, 0
+		kr.winStart = kr.winStart.Add(h.window)
+		if now.Sub(kr.winStart) >= 2*h.window {
+			// Long idle: fast-forward instead of looping per window.
+			kr.prev = 0
+			kr.winStart = now
+		}
+	}
+	kr.cur++
+	hot = kr.cur+kr.prev >= h.threshold
+	if hot {
+		kr.rr++
+		rr = kr.rr
+	}
+	// The sweep clock derives from the callers' now (never the wall
+	// clock directly) so tests can drive time.
+	if h.sweepAt.IsZero() {
+		h.sweepAt = now.Add(h.window)
+	}
+	if now.After(h.sweepAt) {
+		for k, v := range h.keys {
+			if now.Sub(v.winStart) >= 2*h.window {
+				delete(h.keys, k)
+			}
+		}
+		h.sweepAt = now.Add(h.window)
+	}
+	return hot, rr
+}

@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHotTracker(t *testing.T) {
+	base := time.Unix(1000, 0)
+	h := newHotTracker(4, time.Second)
+
+	// Below threshold: cold.
+	for i := 0; i < 3; i++ {
+		if hot, _ := h.touch("k", base); hot {
+			t.Fatalf("hot after %d touches, threshold 4", i+1)
+		}
+	}
+	// Fourth touch in the window crosses the threshold.
+	if hot, _ := h.touch("k", base); !hot {
+		t.Fatal("not hot at threshold")
+	}
+	// The round-robin cursor advances per hot touch.
+	_, rr1 := h.touch("k", base)
+	_, rr2 := h.touch("k", base)
+	if rr2 != rr1+1 {
+		t.Fatalf("rr cursor %d -> %d, want +1", rr1, rr2)
+	}
+
+	// The previous-window carry keeps a key hot across the boundary...
+	if hot, _ := h.touch("k", base.Add(1100*time.Millisecond)); !hot {
+		t.Fatal("carry lost at window boundary")
+	}
+	// ...but two idle windows reset it to cold.
+	if hot, _ := h.touch("k", base.Add(4*time.Second)); hot {
+		t.Fatal("still hot after long idle")
+	}
+
+	// Other keys are independent.
+	if hot, _ := h.touch("other", base.Add(4*time.Second)); hot {
+		t.Fatal("fresh key hot")
+	}
+}
+
+func TestHotTrackerDisabled(t *testing.T) {
+	var nilTracker *hotTracker
+	if hot, _ := nilTracker.touch("k", time.Now()); hot {
+		t.Fatal("nil tracker reported hot")
+	}
+	h := newHotTracker(-1, time.Second)
+	for i := 0; i < 100; i++ {
+		if hot, _ := h.touch("k", time.Now()); hot {
+			t.Fatal("disabled tracker reported hot")
+		}
+	}
+}
+
+func TestHotTrackerSweep(t *testing.T) {
+	base := time.Unix(1000, 0)
+	h := newHotTracker(1000, time.Second)
+	for i := 0; i < 50; i++ {
+		h.touch("old", base)
+	}
+	// Two windows later a different key triggers the sweep; the idle
+	// entry must be gone.
+	h.touch("new", base.Add(3*time.Second))
+	h.mu.Lock()
+	_, oldAlive := h.keys["old"]
+	h.mu.Unlock()
+	if oldAlive {
+		t.Fatal("idle key survived the sweep")
+	}
+}

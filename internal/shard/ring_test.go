@@ -1,0 +1,152 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Hex-ish strings shaped like serve.CacheKey output.
+		keys[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return keys
+}
+
+// TestRingDeterminism: the same membership must map every key to the
+// same shard, regardless of join order.
+func TestRingDeterminism(t *testing.T) {
+	keys := ringKeys(500)
+	a := NewRing(64)
+	b := NewRing(64)
+	for _, n := range []string{"s1", "s2", "s3", "s4"} {
+		a.Add(n)
+	}
+	for _, n := range []string{"s3", "s1", "s4", "s2"} { // different join order
+		b.Add(n)
+	}
+	for _, k := range keys {
+		na, _ := a.Lookup(k)
+		nb, _ := b.Lookup(k)
+		if na != nb {
+			t.Fatalf("key %s: ring a -> %s, ring b -> %s", k[:8], na, nb)
+		}
+	}
+	// And a lookup is stable against repetition.
+	for _, k := range keys[:50] {
+		n1, _ := a.Lookup(k)
+		n2, _ := a.Lookup(k)
+		if n1 != n2 {
+			t.Fatalf("unstable lookup for %s", k[:8])
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding or removing one shard may move only
+// the keys that shard gains or loses — every other key keeps its
+// owner. This is the consistent-hashing contract that protects the
+// fleet's cache locality across membership changes.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := ringKeys(2000)
+	r := NewRing(64)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("s%d", i))
+	}
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Lookup(k)
+	}
+
+	// Join: only keys that moved TO the new shard may change owner.
+	r.Add("s4")
+	moved := 0
+	for _, k := range keys {
+		now, _ := r.Lookup(k)
+		if now != before[k] {
+			if now != "s4" {
+				t.Fatalf("key %s moved %s -> %s on an unrelated join", k[:8], before[k], now)
+			}
+			moved++
+		}
+	}
+	// Expect roughly 1/5 of the keyspace on the new shard; allow wide
+	// slack but catch both "nothing moved" and "everything moved".
+	if moved == 0 || moved > len(keys)/2 {
+		t.Fatalf("join moved %d/%d keys, want ~%d", moved, len(keys), len(keys)/5)
+	}
+
+	// Leave: only the departed shard's keys may change owner.
+	after := make(map[string]string, len(keys))
+	for _, k := range keys {
+		after[k], _ = r.Lookup(k)
+	}
+	r.Remove("s4")
+	for _, k := range keys {
+		now, _ := r.Lookup(k)
+		if after[k] == "s4" {
+			if now == "s4" {
+				t.Fatalf("key %s still on removed shard", k[:8])
+			}
+			if now != before[k] {
+				t.Fatalf("key %s settled on %s, want its pre-join owner %s", k[:8], now, before[k])
+			}
+		} else if now != after[k] {
+			t.Fatalf("key %s moved %s -> %s on an unrelated leave", k[:8], after[k], now)
+		}
+	}
+}
+
+// TestRingBalance: with enough virtual nodes, no shard's share of the
+// keyspace may stray too far from the mean.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(20000)
+	r := NewRing(128)
+	const shards = 5
+	for i := 0; i < shards; i++ {
+		r.Add(fmt.Sprintf("s%d", i))
+	}
+	counts := map[string]int{}
+	for _, k := range keys {
+		n, ok := r.Lookup(k)
+		if !ok {
+			t.Fatal("lookup failed on populated ring")
+		}
+		counts[n]++
+	}
+	mean := len(keys) / shards
+	for s, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Errorf("shard %s owns %d keys, mean %d — imbalance beyond 2x", s, c, mean)
+		}
+	}
+}
+
+// TestRingLookupN: the retry/replica list is deterministic, distinct,
+// starts with the owner, and never exceeds membership.
+func TestRingLookupN(t *testing.T) {
+	r := NewRing(32)
+	if got := r.LookupN("k", 2); got != nil {
+		t.Fatalf("empty ring LookupN = %v, want nil", got)
+	}
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("s%d", i))
+	}
+	for _, k := range ringKeys(100) {
+		owner, _ := r.Lookup(k)
+		got := r.LookupN(k, 5) // more than membership
+		if len(got) != 3 {
+			t.Fatalf("LookupN(5) on 3 shards = %v", got)
+		}
+		if got[0] != owner {
+			t.Fatalf("LookupN[0] = %s, want owner %s", got[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, n := range got {
+			if seen[n] {
+				t.Fatalf("duplicate shard %s in %v", n, got)
+			}
+			seen[n] = true
+		}
+	}
+}

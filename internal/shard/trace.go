@@ -1,0 +1,89 @@
+package shard
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/obs/trace"
+)
+
+// Merged tracing. The router records router.route/router.upstream
+// spans in its own collector under the trace id it propagates to the
+// shard via traceparent; the shard records its pipeline spans under
+// the same id in ITS collector, on ITS monotonic timeline. GET
+// /trace/{id} on the router joins the two: it pulls the shard half
+// from each live shard's /trace/{id}, re-bases shard time onto the
+// router timeline, and serves one combined span set — the exact shape
+// cmd/reprotrace consumes, so critical-path attribution spans the
+// whole router -> shard -> engine pipeline.
+//
+// Re-basing: a shard span tree hangs under the router.upstream span
+// that carried its request (the shard's root has that span as its
+// propagated parent). The shard root's duration is the upstream
+// duration minus two wire flights, so centring it inside the upstream
+// window — offset = up.Start + (up.Dur - root.Dur)/2 - root.Start —
+// splits the observed RTT symmetrically, the same trick the cluster
+// layer uses for slave span re-basing.
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tid, ok := trace.ParseTraceID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusBadRequest, "bad trace id")
+		return
+	}
+	spans, dropped, ok := rt.cfg.Traces.Get(tid)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown trace")
+		return
+	}
+
+	// Index the router's upstream spans; shard roots parent onto them.
+	upstream := make(map[trace.SpanID]trace.Span)
+	for _, sp := range spans {
+		if sp.Name == "router.upstream" {
+			upstream[sp.ID] = sp
+		}
+	}
+
+	for _, shard := range rt.ring.Nodes() {
+		res, err := rt.roundTrip(r.Context(), shard, http.MethodGet, "/trace/"+tid.String(), nil, nil, nil)
+		if err != nil || res.status != http.StatusOK {
+			continue // shard never saw this trace (or is gone): nothing to merge
+		}
+		var remote struct {
+			Dropped uint64           `json:"dropped"`
+			Spans   []trace.SpanJSON `json:"spans"`
+		}
+		if json.Unmarshal(res.body, &remote) != nil {
+			continue
+		}
+		rspans := trace.FromJSON(remote.Spans)
+		dropped += remote.Dropped
+
+		// Find the re-base offset from the first shard span whose parent
+		// is one of our upstream spans.
+		var offset int64
+		found := false
+		for _, sp := range rspans {
+			if up, ok := upstream[sp.Parent]; ok {
+				offset = up.Start + (up.Dur-sp.Dur)/2 - sp.Start
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue // not a span set this router produced (stale trace id reuse)
+		}
+		for _, sp := range rspans {
+			sp.Start += offset
+			sp.Trace = tid
+			spans = append(spans, sp)
+		}
+	}
+
+	writeJSON(w, http.StatusOK, struct {
+		TraceID string           `json:"trace_id"`
+		Dropped uint64           `json:"dropped"`
+		Spans   []trace.SpanJSON `json:"spans"`
+		Tree    []*trace.Node    `json:"tree"`
+	}{tid.String(), dropped, trace.ToJSON(spans), trace.BuildTree(spans)})
+}

@@ -122,7 +122,7 @@ func (e *Engine) AlignScoreS(r int, tri *triangle.Triangle, sc *Scratch) int32 {
 	_, score, rejected := align.BestValidEnd(row, orig)
 	e.cfg.Counters.AddShadowEnds(rejected)
 	if rejected > 0 {
-		e.cfg.Trace.Record(obs.EvShadowReject, -1, int32(r), rejected)
+		e.cfg.Trace.Record(obs.EvShadowReject, -1, int64(r), rejected)
 	}
 	return score
 }
@@ -208,7 +208,7 @@ func (e *Engine) AlignGroupScoreS(r0 int, tri *triangle.Triangle, sc *Scratch, s
 		_, scores[i], rejected = align.BestValidEnd(row, orig)
 		e.cfg.Counters.AddShadowEnds(rejected)
 		if rejected > 0 {
-			e.cfg.Trace.Record(obs.EvShadowReject, -1, int32(r), rejected)
+			e.cfg.Trace.Record(obs.EvShadowReject, -1, int64(r), rejected)
 		}
 	}
 	return scores
@@ -259,6 +259,6 @@ func (e *Engine) AcceptTopS(r int, sc *Scratch) (TopAlignment, error) {
 		e.tri.Set(gp.I, gp.J)
 	}
 	e.tops = append(e.tops, top)
-	e.cfg.Trace.Record(obs.EvAccept, -1, int32(r), int64(a.Score))
+	e.cfg.Trace.Record(obs.EvAccept, -1, int64(r), int64(a.Score))
 	return top, nil
 }

@@ -61,7 +61,7 @@ func InitialQueue(e *Engine) *TaskQueue {
 	lanes := e.Config().GroupLanes
 	for r := 1; r <= e.NumSplits(); r += lanes {
 		q.Push(&Task{R: r, Score: Infinity, AlignedWith: -1})
-		e.Config().Trace.Record(obs.EvEnqueue, -1, int32(r), 0)
+		e.Config().Trace.Record(obs.EvEnqueue, -1, int64(r), 0)
 	}
 	return q
 }
@@ -88,7 +88,7 @@ func RealignS(e *Engine, t *Task, tri *triangle.Triangle, topNum int, sc *Scratc
 		t.Score = e.AlignScoreS(t.R, tri, sc)
 	}
 	t.AlignedWith = topNum
-	e.Config().Trace.Record(obs.EvRealign, -1, int32(t.R), int64(t.Score))
+	e.Config().Trace.Record(obs.EvRealign, -1, int64(t.R), int64(t.Score))
 }
 
 // Accept accepts the task's best member as the next top alignment and

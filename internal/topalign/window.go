@@ -56,7 +56,7 @@ func (e *Engine) AlignWindowScoreS(w *Window, tri *triangle.Triangle, sc *Scratc
 	_, score, rejected := align.BestValidEnd(row, w.orig)
 	e.cfg.Counters.AddShadowEnds(rejected)
 	if rejected > 0 {
-		e.cfg.Trace.Record(obs.EvShadowReject, -1, int32(w.Rect.Y1), rejected)
+		e.cfg.Trace.Record(obs.EvShadowReject, -1, int64(w.Rect.Y1), rejected)
 	}
 	return score
 }
@@ -75,7 +75,7 @@ func RealignWindow(e *Engine, t *Task, tri *triangle.Triangle, topNum int, sc *S
 	} else {
 		t.AlignedWith = topNum
 	}
-	e.Config().Trace.Record(obs.EvRealign, -1, int32(t.R), int64(t.Score))
+	e.Config().Trace.Record(obs.EvRealign, -1, int64(t.R), int64(t.Score))
 }
 
 // AcceptWindowS accepts a windowed task's current alignment as the next
@@ -116,7 +116,7 @@ func AcceptWindowS(e *Engine, t *Task, sc *Scratch) (TopAlignment, error) {
 		e.tri.Set(gp.I, gp.J)
 	}
 	e.tops = append(e.tops, top)
-	e.cfg.Trace.Record(obs.EvAccept, -1, int32(w.Rect.Y1), int64(a.Score))
+	e.cfg.Trace.Record(obs.EvAccept, -1, int64(w.Rect.Y1), int64(a.Score))
 	return top, nil
 }
 
@@ -132,7 +132,7 @@ func RunWindows(e *Engine, tasks []*Task) error {
 			return fmt.Errorf("topalign: RunWindows given non-windowed task r=%d", t.R)
 		}
 		q.Push(t)
-		cfg.Trace.Record(obs.EvEnqueue, -1, int32(t.R), int64(t.Score))
+		cfg.Trace.Record(obs.EvEnqueue, -1, int64(t.R), int64(t.Score))
 	}
 	for e.NumTopsFound() < cfg.NumTops && q.Len() > 0 {
 		t := q.Pop()
