@@ -32,6 +32,7 @@ import (
 	"repro/internal/align"
 	"repro/internal/atomicfile"
 	"repro/internal/cluster"
+	"repro/internal/multialign"
 	"repro/internal/parallel"
 	"repro/internal/scoring"
 	"repro/internal/seedindex"
@@ -42,9 +43,13 @@ import (
 
 // Level is one benchmark row.
 type Level struct {
-	Name        string  `json:"name"`
-	Workers     int     `json:"workers"`
-	Lanes       int     `json:"lanes,omitempty"`
+	Name    string `json:"name"`
+	Workers int    `json:"workers"`
+	Lanes   int    `json:"lanes,omitempty"`
+	// KernelTier names the group-kernel tier the level's lane count and
+	// scoring model resolve to ("scalar", "int32x8", "int16x16"),
+	// honouring any -kernel-tier override.
+	KernelTier  string  `json:"kernel_tier,omitempty"`
 	Slaves      int     `json:"slaves,omitempty"`
 	Tops        int     `json:"tops"`
 	WallSeconds float64 `json:"wall_s"`
@@ -97,17 +102,44 @@ type PrefilterSection struct {
 	Rows             []PrefilterRow `json:"rows"`
 }
 
+// KernelRow is one raw group-kernel measurement: back-to-back
+// ScoreGroupAuto calls on one goroutine with the tier forced, so the
+// figure is pure kernel throughput with no scheduler or traceback
+// overhead (the paper's Gcells/s framing).
+type KernelRow struct {
+	Tier        string  `json:"tier"`
+	Lanes       int     `json:"lanes"`
+	WallSeconds float64 `json:"wall_s"`
+	Cells       int64   `json:"cells"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// VsInt32 is this tier's throughput over the int32x8 tier's (present
+	// once both have run), the headline per-core ratio of the int16 tier.
+	VsInt32 float64 `json:"vs_int32x8,omitempty"`
+}
+
+// KernelSection carries the per-tier raw kernel rows.
+type KernelSection struct {
+	SeqLen int         `json:"seq_len"`
+	Rows   []KernelRow `json:"rows"`
+}
+
 // Output is the whole benchmark document.
 type Output struct {
-	Bench               string            `json:"bench"`
-	SeqLen              int               `json:"seq_len"`
-	Seed                uint64            `json:"seed"`
-	Tops                int               `json:"tops"`
-	GOMAXPROCS          int               `json:"gomaxprocs"`
-	GoVersion           string            `json:"go_version"`
+	Bench      string `json:"bench"`
+	SeqLen     int    `json:"seq_len"`
+	Seed       uint64 `json:"seed"`
+	Tops       int    `json:"tops"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	// DetectedKernelTier is the widest group-kernel tier this CPU
+	// supports; ForcedKernelTier echoes a -kernel-tier override.
+	DetectedKernelTier  string            `json:"detected_kernel_tier"`
+	ForcedKernelTier    string            `json:"forced_kernel_tier,omitempty"`
+	AVX512              bool              `json:"avx512_detected"`
 	Baseline            string            `json:"baseline,omitempty"`
 	Levels              []Level           `json:"levels"`
 	SpeculationOverhead float64           `json:"speculation_overhead"`
+	Kernels             *KernelSection    `json:"kernels,omitempty"`
 	Prefilter           *PrefilterSection `json:"prefilter,omitempty"`
 }
 
@@ -129,10 +161,19 @@ func main() {
 			"also benchmark the seed-filter-extend prefilter at 10x and 50x scale")
 		maxPrefilterFraction = flag.Float64("max-prefilter-fraction", 0,
 			"fail if a scaled prefilter run exceeds this fraction of the extrapolated exact wall time (0 disables)")
+		kernelTier = flag.String("kernel-tier", "",
+			"force a group-kernel tier for every level: scalar, int32x8, int16x16 (default auto)")
+		kernels = flag.Bool("kernels", false,
+			"also measure raw per-tier group-kernel throughput (single core, scheduler excluded)")
+		minKernelRatio = flag.Float64("min-kernel-ratio", 0,
+			"with -kernels: fail unless the int16x16 tier beats int32x8 per-core by this factor (0 disables; skipped with a warning when the CPU lacks the tier)")
 	)
 	flag.Parse()
 	if *short {
 		*length, *tops = 300, 6
+	}
+	if err := multialign.SetKernelTier(*kernelTier); err != nil {
+		fatal(err)
 	}
 
 	stopProf := func() {}
@@ -171,6 +212,12 @@ func main() {
 			cfg.GroupLanes = 8
 			return topalign.Find(q.Codes, cfg)
 		}},
+		{Level{Name: "group16", Workers: 1, Lanes: 16}, func(cfg topalign.Config) (*topalign.Result, error) {
+			// 16-lane groups route through the int16x16 tier where the
+			// CPU and scoring model allow it (see kernel_tier per level).
+			cfg.GroupLanes = 16
+			return topalign.Find(q.Codes, cfg)
+		}},
 		{Level{Name: "shared-memory", Workers: workers}, func(cfg topalign.Config) (*topalign.Result, error) {
 			return parallel.Find(q.Codes, cfg, parallel.Config{Workers: workers, Speculative: true})
 		}},
@@ -178,6 +225,10 @@ func main() {
 			// The composed configuration: every worker realigns 8-lane
 			// groups, so kernel throughput and thread parallelism stack.
 			cfg.GroupLanes = 8
+			return parallel.Find(q.Codes, cfg, parallel.Config{Workers: workers, Speculative: true})
+		}},
+		{Level{Name: "shared-memory-group16", Workers: workers, Lanes: 16}, func(cfg topalign.Config) (*topalign.Result, error) {
+			cfg.GroupLanes = 16
 			return parallel.Find(q.Codes, cfg, parallel.Config{Workers: workers, Speculative: true})
 		}},
 		{Level{Name: "cluster", Workers: 4, Slaves: 2}, func(cfg topalign.Config) (*topalign.Result, error) {
@@ -188,12 +239,15 @@ func main() {
 	}
 
 	out := Output{
-		Bench:      "titin-toplevel",
-		SeqLen:     q.Len(),
-		Seed:       *seed,
-		Tops:       *tops,
-		GOMAXPROCS: workers,
-		GoVersion:  runtime.Version(),
+		Bench:              "titin-toplevel",
+		SeqLen:             q.Len(),
+		Seed:               *seed,
+		Tops:               *tops,
+		GOMAXPROCS:         workers,
+		GoVersion:          runtime.Version(),
+		DetectedKernelTier: multialign.DetectedTier().String(),
+		ForcedKernelTier:   *kernelTier,
+		AVX512:             multialign.DetectedAVX512(),
 	}
 	base2wall := map[string]float64{}
 	if *baseline != "" {
@@ -224,6 +278,9 @@ func main() {
 		}
 		snap := cfg.Counters.Snapshot()
 		lv := r.level
+		if lv.Lanes > 0 {
+			lv.KernelTier = multialign.TierFor(params, q.Len(), lv.Lanes).String()
+		}
 		lv.Tops = len(res.Tops)
 		lv.WallSeconds = wall
 		lv.Cells = snap.Cells
@@ -253,6 +310,16 @@ func main() {
 		}
 	}
 
+	if *kernels {
+		sec, err := runKernels(q, params, *kernelTier)
+		if err != nil {
+			stopProf()
+			writeDoc(out, *outP)
+			fatal(err)
+		}
+		out.Kernels = sec
+	}
+
 	if *prefilter {
 		sec, err := runPrefilter(q, base, seqWall, seqRes, *seed, *short)
 		if err != nil {
@@ -264,12 +331,130 @@ func main() {
 	}
 
 	stopProf()
+	if err := assertKernelRatio(out.Kernels, *minKernelRatio); err != nil {
+		writeDoc(out, *outP)
+		fatal(err)
+	}
 	if err := assertBudgets(out, *minSpeedupShared, *maxAllocsPerAlign, *maxPrefilterFraction); err != nil {
 		// Still write the document so CI can upload it for inspection.
 		writeDoc(out, *outP)
 		fatal(err)
 	}
 	writeDoc(out, *outP)
+}
+
+// groupCells is the lane-cell count one group call computes from split
+// r0: lane k covers rows 1..r0+k over m-(r0+k) columns.
+func groupCells(m, r0, lanes int) int64 {
+	var cells int64
+	for k := 0; k < lanes; k++ {
+		r := r0 + k
+		if r > m-1 {
+			break
+		}
+		cells += int64(r) * int64(m-r)
+	}
+	return cells
+}
+
+// runKernels measures raw per-tier group-kernel throughput: one
+// goroutine scoring the same mid-sequence group back to back with the
+// tier forced, for at least 0.5s per tier. Tiers the CPU lacks are
+// skipped. The caller's -kernel-tier override is restored on return.
+//
+// The section uses its own sequence of at least 1200 residues even
+// under -short: kernel throughput is a property of the kernel, not the
+// workload, and groups from tiny sequences spend their time in row
+// prologues rather than the steady-state inner loop, which would
+// understate the wide tiers and destabilise the -min-kernel-ratio gate.
+func runKernels(q *seq.Sequence, params align.Params, restore string) (*KernelSection, error) {
+	if q.Len() < 1200 {
+		q = seq.SyntheticTitin(1200, 1)
+	}
+	sec := &KernelSection{SeqLen: q.Len()}
+	r0 := q.Len() / 2
+	sc := multialign.NewScratch()
+	defer multialign.SetKernelTier(restore) //nolint:errcheck // restoring a value that parsed at startup
+	var int32Rate float64
+	for _, t := range []struct {
+		tier  multialign.Tier
+		lanes int
+	}{
+		{multialign.TierScalar, 8},
+		{multialign.TierInt32x8, 8},
+		{multialign.TierInt16x16, 16},
+	} {
+		if t.tier > multialign.DetectedTier() {
+			fmt.Fprintf(os.Stderr, "benchjson: kernels: tier %s not supported on this CPU, skipping\n", t.tier)
+			continue
+		}
+		if err := multialign.SetKernelTier(t.tier.String()); err != nil {
+			return nil, err
+		}
+		perCall := groupCells(q.Len(), r0, t.lanes)
+		var cells int64
+		var wall float64
+		t0 := time.Now()
+		for wall < 0.5 {
+			g, err := sc.ScoreGroupAuto(params, q.Codes, r0, t.lanes, nil)
+			if err != nil {
+				return nil, fmt.Errorf("kernels %s: %w", t.tier, err)
+			}
+			if g.Rerun {
+				return nil, fmt.Errorf("kernels %s: benchmark input saturated the int16 kernel", t.tier)
+			}
+			cells += perCall
+			wall = time.Since(t0).Seconds()
+		}
+		row := KernelRow{
+			Tier:        t.tier.String(),
+			Lanes:       t.lanes,
+			WallSeconds: wall,
+			Cells:       cells,
+			CellsPerSec: float64(cells) / wall,
+		}
+		if t.tier == multialign.TierInt32x8 {
+			int32Rate = row.CellsPerSec
+		} else if int32Rate > 0 {
+			row.VsInt32 = row.CellsPerSec / int32Rate
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: kernel %-9s %6.2f Gcells/s (x%d lanes)\n",
+			row.Tier, row.CellsPerSec/1e9, row.Lanes)
+		sec.Rows = append(sec.Rows, row)
+	}
+	return sec, nil
+}
+
+// assertKernelRatio enforces the int16-vs-int32 per-core gate on a
+// -kernels section. When the CPU lacks the int16 tier the gate is
+// skipped with a warning rather than failed: the differential suite
+// still covers correctness there, and CI runners without AVX2 should
+// not go red over a tier they cannot run.
+func assertKernelRatio(sec *KernelSection, minRatio float64) error {
+	if minRatio <= 0 || sec == nil {
+		return nil
+	}
+	if multialign.DetectedTier() < multialign.TierInt16x16 {
+		fmt.Fprintf(os.Stderr, "benchjson: kernels: int16x16 tier unavailable (detected %s), skipping -min-kernel-ratio gate\n",
+			multialign.DetectedTier())
+		return nil
+	}
+	var int16Row, int32Row *KernelRow
+	for i := range sec.Rows {
+		switch sec.Rows[i].Tier {
+		case "int16x16":
+			int16Row = &sec.Rows[i]
+		case "int32x8":
+			int32Row = &sec.Rows[i]
+		}
+	}
+	if int16Row == nil || int32Row == nil {
+		return fmt.Errorf("kernels: -min-kernel-ratio needs both int32x8 and int16x16 rows")
+	}
+	if ratio := int16Row.CellsPerSec / int32Row.CellsPerSec; ratio < minRatio {
+		return fmt.Errorf("kernels: int16x16 is %.2fx int32x8 per core, below required %.2fx", ratio, minRatio)
+	}
+	return nil
 }
 
 // runPrefilter benchmarks the fast and balanced presets at 10x and 50x

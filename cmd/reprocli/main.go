@@ -17,6 +17,7 @@ import (
 
 	"repro"
 	"repro/internal/atomicfile"
+	"repro/internal/multialign"
 	"repro/internal/obs"
 	"repro/internal/seq"
 )
@@ -31,7 +32,7 @@ func main() {
 		gapOpen    = flag.Int("gap-open", 0, "gap opening penalty (0 = matrix default)")
 		gapExt     = flag.Int("gap-ext", 0, "gap extension penalty (0 = matrix default)")
 		minScore   = flag.Int("min-score", 0, "stop when no alignment reaches this score")
-		lanes      = flag.Int("lanes", 0, "SIMD-style group lanes: 0, 4, or 8")
+		lanes      = flag.Int("lanes", 0, "SIMD-style group lanes: 0, 4, 8, or 16")
 		striped    = flag.Bool("striped", false, "use the cache-aware striped kernel")
 		workers    = flag.Int("workers", 0, "shared-memory worker goroutines (0/1 = sequential)")
 		slaves     = flag.Int("slaves", 0, "run an in-process cluster with this many slaves")
@@ -47,8 +48,20 @@ func main() {
 		stats      = flag.Bool("stats", false, "print engine statistics")
 		showAln    = flag.Int("align", 0, "render the first N top alignments residue by residue")
 		metricsOut = flag.String("metrics-out", "", "write the observability snapshot (metrics + trace tail) as JSON to this file (- for stdout)")
+		kernelTier = flag.String("kernel-tier", "", "force a group-kernel tier: scalar, int32x8, int16x16 (default auto)")
+		diag       = flag.Bool("diag", false, "print SIMD kernel-tier diagnostics and exit")
 	)
 	flag.Parse()
+
+	if err := multialign.SetKernelTier(*kernelTier); err != nil {
+		fatal(err)
+	}
+	if *diag {
+		fmt.Printf("kernel tiers: detected=%s active=%s (avx2=%t avx512=%t)\n",
+			multialign.DetectedTier(), multialign.ActiveTier(),
+			multialign.DetectedTier() >= multialign.TierInt32x8, multialign.DetectedAVX512())
+		return
+	}
 
 	opt := repro.Options{
 		Matrix: *matrix, NumTops: *tops,
@@ -108,9 +121,9 @@ func main() {
 					pf.Clusters, pf.Candidates, pf.WindowCells,
 					100*float64(pf.WindowCells)/float64(pf.SequenceCells))
 			}
-			fmt.Printf("  stats: alignments=%d realignments=%d tracebacks=%d cells=%d shadow-ends=%d\n",
+			fmt.Printf("  stats: alignments=%d realignments=%d tracebacks=%d cells=%d shadow-ends=%d kernel-tier=%s\n",
 				rep.Stats.Alignments, rep.Stats.Realignments, rep.Stats.Tracebacks,
-				rep.Stats.Cells, rep.Stats.ShadowEnds)
+				rep.Stats.Cells, rep.Stats.ShadowEnds, rep.Stats.KernelTier)
 			if rep.Stats.RealignmentReduction > 0 {
 				fmt.Printf("  queue heuristic avoided %.1f%% of potential realignments (paper: 90-97%%)\n",
 					100*rep.Stats.RealignmentReduction)

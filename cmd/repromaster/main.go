@@ -34,7 +34,7 @@ func main() {
 		titinLen = flag.Int("titin", 0, "analyse a synthetic titin-like protein of this length")
 		matrix   = flag.String("matrix", "BLOSUM62", "exchange matrix name")
 		tops     = flag.Int("tops", 25, "number of top alignments")
-		lanes    = flag.Int("lanes", 0, "SIMD-style group lanes (0, 4, 8)")
+		lanes    = flag.Int("lanes", 0, "SIMD-style group lanes (0, 4, 8, 16)")
 		spec     = flag.Bool("speculative", true, "speculative acceptance (paper mode)")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "worker connection timeout")
 

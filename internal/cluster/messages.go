@@ -38,7 +38,7 @@ type msgSetup struct {
 	GapOpen  int32
 	GapExt   int32
 	MinScore int32
-	Lanes    uint8 // 1, 4, or 8
+	Lanes    uint8 // 1, 4, 8, or 16
 	Striped  bool
 	Trace    trace.TraceID
 }

@@ -129,7 +129,7 @@ func newSlave(comm mpi.Comm, setup msgSetup) (*slave, error) {
 	if lanes == 0 {
 		lanes = 1
 	}
-	if lanes != 1 && lanes != 4 && lanes != 8 {
+	if lanes != 1 && lanes != 4 && lanes != 8 && lanes != 16 {
 		return nil, fmt.Errorf("cluster: invalid lane count %d", lanes)
 	}
 	sl := &slave{

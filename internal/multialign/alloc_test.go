@@ -35,6 +35,7 @@ func TestGroupKernelsZeroAllocsWarm(t *testing.T) {
 		{"ScoreGroupILPStriped", func() error { sc.ScoreGroupILPStriped(p, s, r0, tri, 64); return nil }},
 		{"ScoreGroupAuto-4", func() error { _, err := sc.ScoreGroupAuto(p, s, r0, 4, tri); return err }},
 		{"ScoreGroupAuto-8", func() error { _, err := sc.ScoreGroupAuto(p, s, r0, 8, tri); return err }},
+		{"ScoreGroupAuto-16", func() error { _, err := sc.ScoreGroupAuto(p, s, r0, 16, tri); return err }},
 	}
 	for _, c := range cases {
 		if err := c.f(); err != nil { // warm the arena

@@ -56,6 +56,26 @@ func BenchmarkScoreGroupAuto8(b *testing.B) {
 	}
 }
 
+func BenchmarkScoreGroupAuto16(b *testing.B) {
+	for _, n := range []int{1200, 4096} {
+		s := seq.SyntheticTitin(n, 1).Codes
+		r0 := n / 2
+		sc := NewScratch()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.SetBytes(benchGroupCells(n, r0, 16))
+			for i := 0; i < b.N; i++ {
+				g, err := sc.ScoreGroupAuto(protein, s, r0, 16, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g.Rerun {
+					b.Fatal("benchmark input saturated the int16 kernel")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkScoreGroupSWAR(b *testing.B) {
 	for _, lanes := range []int{4, 8} {
 		n := 1200

@@ -55,10 +55,18 @@ func CheckParams(p align.Params) error {
 // out of range (r0+i > len(s)-1). Saturated reports that at least one
 // lane hit SatLimit somewhere, in which case the rows are unreliable and
 // the caller must recompute with the scalar kernel.
+//
+// Tier and Rerun are observability fields set by ScoreGroupAuto: Tier is
+// the kernel tier that produced the rows (after any saturation
+// fallback), and Rerun reports that the int16 kernel saturated and the
+// group was transparently recomputed in exact int32 — the rows are
+// correct either way.
 type Group struct {
 	R0        int
 	Bottoms   [][]int32
 	Saturated bool
+	Tier      Tier
+	Rerun     bool
 }
 
 // ScoreGroup computes the bottom rows of `lanes` neighbouring splits

@@ -29,6 +29,9 @@ type Scratch struct {
 	prof      []int32 // query profile: per-character exchange rows (AVX2 kernel)
 	profBuilt []bool
 
+	prev16, cur16, maxY16 []int16 // interleaved int16 lane rows (16-lane AVX2 kernel)
+	prof16                []int16 // query profile at int16 width
+
 	arena []int32   // bottom-row storage
 	heads [][]int32 // lane headers over arena
 	g     Group     // reusable result
@@ -42,6 +45,14 @@ func NewScratch() *Scratch { return &Scratch{} }
 func growI32(buf *[]int32, n int) []int32 {
 	if cap(*buf) < n {
 		*buf = make([]int32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growI16(buf *[]int16, n int) []int16 {
+	if cap(*buf) < n {
+		*buf = make([]int16, n)
 	}
 	*buf = (*buf)[:n]
 	return *buf
@@ -138,9 +149,13 @@ func (sc *Scratch) ScoreGroupILPStriped(p align.Params, s []byte, r0 int, tri *t
 }
 
 // ScoreGroupAuto is the scratch-based variant of the package-level
-// ScoreGroupAuto and the production group kernel: on amd64 with AVX2 the
-// 8-lane case runs the vector row kernel; otherwise exact ILP lanes run
-// in blocks of four.
+// ScoreGroupAuto and the production group kernel. It dispatches on the
+// effective kernel tier (TierFor): full 16-lane groups whose scoring
+// model fits 16-bit arithmetic run the saturating int16 kernel — with an
+// exact int32 re-run if the sticky saturation flag fires — 8-lane blocks
+// run the exact int32 AVX2 kernel, and everything else falls back to
+// exact ILP lanes in blocks of four. All paths produce bit-identical
+// bottom rows; the chosen path is reported in Group.Tier.
 func (sc *Scratch) ScoreGroupAuto(p align.Params, s []byte, r0, lanes int, tri *triangle.Triangle) (*Group, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -149,12 +164,32 @@ func (sc *Scratch) ScoreGroupAuto(p align.Params, s []byte, r0, lanes int, tri *
 	if r0 < 1 || r0 > m-1 {
 		return nil, fmt.Errorf("multialign: group start split %d out of range for length %d", r0, m)
 	}
-	if lanes != 4 && lanes != 8 {
-		return nil, fmt.Errorf("multialign: unsupported lane count %d (want 4 or 8)", lanes)
+	if lanes != 4 && lanes != 8 && lanes != 16 {
+		return nil, fmt.Errorf("multialign: unsupported lane count %d (want 4, 8, or 16)", lanes)
 	}
 	g := sc.newGroup(m, r0, lanes)
-	if lanes == 8 && hasAVX2 {
-		sc.avx8(p, s, r0, tri, g.Bottoms)
+	tier := TierFor(p, m, lanes)
+	if tier == TierInt16x16 {
+		proven := Int16Proven(p, m, r0, lanes)
+		if !sc.avx16(p, s, r0, tri, g.Bottoms, proven) {
+			g.Tier = TierInt16x16
+			return g, nil
+		}
+		// Saturation detected: the int16 rows are unreliable. Re-run the
+		// whole group through the exact int32 kernel below — the int16
+		// tier implies AVX2, so avx8 is always the rerun engine.
+		g.Rerun = true
+		tier = TierInt32x8
+	}
+	if tier == TierInt32x8 {
+		for block := 0; block < lanes; block += 8 {
+			b0 := r0 + block
+			if b0 > m-1 {
+				break
+			}
+			sc.avx8(p, s, b0, tri, g.Bottoms[block:])
+		}
+		g.Tier = TierInt32x8
 		return g, nil
 	}
 	for block := 0; block < lanes; block += 4 {
@@ -164,5 +199,6 @@ func (sc *Scratch) ScoreGroupAuto(p align.Params, s []byte, r0, lanes int, tri *
 		}
 		sc.ilp4Striped(p, s, b0, tri, 0, g.Bottoms[block:])
 	}
+	g.Tier = TierScalar
 	return g, nil
 }

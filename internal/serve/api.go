@@ -150,9 +150,9 @@ func (r *Request) canonicalise(maxSeqLen int) error {
 	switch r.Lanes {
 	case 0, 1:
 		r.Lanes = 1
-	case 4, 8:
+	case 4, 8, 16:
 	default:
-		return fmt.Errorf("lanes %d must be 0, 1, 4, or 8", r.Lanes)
+		return fmt.Errorf("lanes %d must be 0, 1, 4, 8, or 16", r.Lanes)
 	}
 	if r.Preset != "" && !seedindex.ValidPreset(r.Preset) {
 		return fmt.Errorf("unknown preset %q (have fast, balanced, sensitive)", r.Preset)

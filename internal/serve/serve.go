@@ -37,6 +37,7 @@ import (
 	"repro"
 	"repro/internal/cache"
 	"repro/internal/jobstore"
+	"repro/internal/multialign"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 )
@@ -218,6 +219,12 @@ func New(cfg Config) *Server {
 		jobsRetries:   cfg.Metrics.Counter("serve/jobs_retries"),
 		jobsRecovered: cfg.Metrics.Counter("serve/jobs_recovered"),
 	}
+	// SIMD diagnostics, stamped once at construction: the group-kernel
+	// tier ladder ordinal (0 scalar, 1 int32x8, 2 int16x16) plus a
+	// one-hot gauge per tier name, so /metrics consumers can match on
+	// names without decoding ordinals.
+	cfg.Metrics.Gauge("engine/kernel_tier").Set(int64(multialign.DetectedTier()))
+	cfg.Metrics.Gauge("engine/kernel_tier/" + multialign.DetectedTier().String()).Set(1)
 	if cfg.RateLimit > 0 {
 		s.bucket = newTokenBucket(cfg.RateLimit, cfg.RateBurst, time.Now())
 	}

@@ -71,9 +71,9 @@ type Config struct {
 	// it. Zero means 1 (any positive-scoring alignment qualifies).
 	MinScore int32
 	// GroupLanes selects the SIMD-style neighbour-group scheduling of
-	// Section 4.1: 0 or 1 aligns one matrix per task, 4 or 8 align a
-	// fixed group of neighbouring matrices per task using the SWAR
-	// kernels.
+	// Section 4.1: 0 or 1 aligns one matrix per task; 4, 8, or 16 align
+	// a fixed group of neighbouring matrices per task using the group
+	// kernels (16 enables the int16x16 AVX2 tier where supported).
 	GroupLanes int
 	// Striped selects the cache-aware vertical-stripe kernel for
 	// scalar score-only alignments.
@@ -110,9 +110,9 @@ func (c Config) withDefaults() (Config, error) {
 	switch c.GroupLanes {
 	case 0, 1:
 		c.GroupLanes = 1
-	case 4, 8:
+	case 4, 8, 16:
 	default:
-		return c, fmt.Errorf("topalign: GroupLanes %d must be 0, 1, 4, or 8", c.GroupLanes)
+		return c, fmt.Errorf("topalign: GroupLanes %d must be 0, 1, 4, 8, or 16", c.GroupLanes)
 	}
 	return c, nil
 }

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/cluster"
+	"repro/internal/multialign"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/parallel"
@@ -55,8 +56,10 @@ type Options struct {
 	NumTops int
 	// MinScore stops the search when no remaining alignment reaches it.
 	MinScore int
-	// Lanes enables SIMD-style neighbour-group alignment: 4 or 8
-	// (0 or 1 = scalar).
+	// Lanes enables SIMD-style neighbour-group alignment: 4, 8, or 16
+	// (0 or 1 = scalar). 16 enables the int16x16 AVX2 kernel tier on
+	// CPUs and scoring models that support it; see Stats.KernelTier for
+	// what a run actually used.
 	Lanes int
 	// Striped selects the cache-aware striped kernel.
 	Striped bool
@@ -151,6 +154,11 @@ type Stats struct {
 	// RealignmentReduction is the fraction of potential realignments the
 	// best-first queue avoided (the paper reports 0.90-0.97).
 	RealignmentReduction float64
+	// KernelTier names the group-kernel tier the run's lane count and
+	// scoring model resolved to ("scalar", "int32x8", or "int16x16").
+	// Individual groups can still fall back narrower (int16 saturation
+	// re-runs in int32); this is the widest tier the run was served by.
+	KernelTier string `json:"KernelTier,omitempty"`
 }
 
 // PrefilterInfo reports the resolved seed-filter-extend configuration
@@ -269,8 +277,14 @@ func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error
 	// engine.accept) nest under it. Nil-safe throughout: an untraced
 	// request costs one nil check per instrumentation point.
 	esp := opt.Spans.Start(opt.SpanParent, "engine")
+	params := align.Params{Exch: exch, Gap: gap}
+	// The effective kernel tier for this run's lane count and scoring
+	// model: stamped on the engine span and reported in Stats so traces
+	// and reports show which SIMD ladder rung served the request.
+	tier := multialign.TierFor(params, q.Len(), opt.Lanes)
+	esp.SetArg(int64(tier))
 	cfg := topalign.Config{
-		Params:     align.Params{Exch: exch, Gap: gap},
+		Params:     params,
 		NumTops:    numTops,
 		MinScore:   int32(opt.MinScore),
 		GroupLanes: opt.Lanes,
@@ -388,6 +402,7 @@ func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error
 		Tracebacks:   snap.Tracebacks,
 		Cells:        snap.Cells,
 		ShadowEnds:   snap.ShadowEnds,
+		KernelTier:   tier.String(),
 	}
 	if len(rep.Tops) > 1 {
 		rep.Stats.RealignmentReduction = snap.RealignmentReduction(q.Len()-1, len(rep.Tops))
