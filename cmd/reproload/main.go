@@ -38,6 +38,7 @@ import (
 	"repro/internal/atomicfile"
 	"repro/internal/jobstore"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 	"repro/internal/seq"
 	"repro/internal/serve"
 )
@@ -59,6 +60,7 @@ func main() {
 		jobsN    = flag.Int("jobs", 0, "exercise the async job API first: submit N durable jobs, poll to completion, verify")
 		longLen  = flag.Int("long-len", 0, "long-input phase: analyse one synthetic sequence of this length with the prefilter preset end-to-end before the load phase (0 disables)")
 		longPre  = flag.String("long-preset", "fast", "prefilter preset for the long-input phase: fast, balanced, sensitive")
+		selfProf = flag.Bool("self-profile", false, "(with -self) run the continuous profiler in the in-process server, to measure its overhead")
 		outP     = flag.String("out", "-", "output JSON path (- for stdout)")
 
 		routerCmp = flag.String("router-compare", "", "router-scaling bench: comma-separated fleet sizes (e.g. 1,4); starts in-process shard fleets behind a router and emits a combined document")
@@ -88,7 +90,7 @@ func main() {
 	}
 
 	if *self {
-		a, shutdown, err := startSelf(*workers, *queue)
+		a, shutdown, err := startSelf(*workers, *queue, *selfProf)
 		if err != nil {
 			fatal(err)
 		}
@@ -146,6 +148,8 @@ func main() {
 		shed429     atomic.Int64
 		errCount    atomic.Int64
 		divergences atomic.Int64
+		coldUsage   usageCollector
+		loadUsage   usageCollector
 	)
 	type sample struct {
 		ms    float64
@@ -177,6 +181,7 @@ func main() {
 			fatal(fmt.Errorf("cold request %d: %w", i, err))
 		}
 		coldSamples = append(coldSamples, sample{float64(time.Since(t0).Microseconds()) / 1e3, sr.Cache})
+		coldUsage.observe(resp.Header)
 		if *verify {
 			rep, err := sr.DecodeReport()
 			if err != nil || !sameAnalysis(truth[i], rep) {
@@ -239,6 +244,7 @@ func main() {
 					continue
 				}
 				reqCount.Add(1)
+				loadUsage.observe(resp.Header)
 				perClient[c] = append(perClient[c], sample{float64(elapsed.Microseconds()) / 1e3, sr.Cache})
 				// Verify every non-hit plus a sample of hits: full
 				// verification of every response would burn client CPU
@@ -303,6 +309,10 @@ func main() {
 		JobsDone:    jobsDone,
 		JobsDeduped: jobsDeduped,
 		LongInput:   longDoc,
+		Usage: map[string]*usageAgg{
+			"cold": coldUsage.agg(),
+			"load": loadUsage.agg(),
+		},
 	}
 	if n > 0 {
 		doc.CacheHitRate = float64(hits) / float64(n)
@@ -376,9 +386,55 @@ type output struct {
 
 	LongInput *longResult `json:"long_input,omitempty"`
 
+	// Usage carries per-phase resource attribution aggregates summed
+	// from the X-Resource-* response headers, so bench files record
+	// what the run cost, not just how long it took.
+	Usage map[string]*usageAgg `json:"usage,omitempty"`
+
 	ServerQueueDepthMax  int64 `json:"server_queue_depth_last"`
 	ServerCacheEvictions int64 `json:"server_cache_evictions"`
 	ServerEngineCells    int64 `json:"server_engine_cells"`
+}
+
+// usageAgg is one phase's summed resource attribution (the JSON shape).
+type usageAgg struct {
+	Requests   int64 `json:"requests"`
+	Cells      int64 `json:"cells"`
+	CPUNanos   int64 `json:"cpu_ns"`
+	AllocBytes int64 `json:"alloc_bytes"`
+}
+
+// usageCollector accumulates X-Resource-* headers concurrently.
+type usageCollector struct {
+	reqs, cells, cpu, alloc atomic.Int64
+}
+
+func headerInt(h http.Header, name string) int64 {
+	v := h.Get(name)
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func (c *usageCollector) observe(h http.Header) {
+	c.reqs.Add(1)
+	c.cells.Add(headerInt(h, "X-Resource-Cells"))
+	c.cpu.Add(headerInt(h, "X-Resource-Cpu-Ns"))
+	c.alloc.Add(headerInt(h, "X-Resource-Alloc-Bytes"))
+}
+
+func (c *usageCollector) agg() *usageAgg {
+	return &usageAgg{
+		Requests:   c.reqs.Load(),
+		Cells:      c.cells.Load(),
+		CPUNanos:   c.cpu.Load(),
+		AllocBytes: c.alloc.Load(),
+	}
 }
 
 type quantiles struct {
@@ -600,8 +656,9 @@ func scrapeMetrics(client *http.Client, base string) (*obs.Snapshot, error) {
 
 // startSelf runs an in-process reproserve on an ephemeral port, with
 // the durable job API backed by a throwaway data dir so -jobs works
-// without an external daemon.
-func startSelf(workers, queue int) (addr string, shutdown func(), err error) {
+// without an external daemon. With profiled, the continuous profiler
+// runs on a short cycle so a bench run measures its overhead.
+func startSelf(workers, queue int, profiled bool) (addr string, shutdown func(), err error) {
 	dataDir, err := os.MkdirTemp("", "reproload-data-*")
 	if err != nil {
 		return "", nil, err
@@ -612,16 +669,36 @@ func startSelf(workers, queue int) (addr string, shutdown func(), err error) {
 		return "", nil, err
 	}
 	reg := obs.NewRegistry()
+	var prof *profile.Profiler
+	if profiled {
+		// Production duty cycle is 2s CPU out of 30s; a short bench
+		// run needs captures to land sooner, so shrink both sides and
+		// keep the ratio (250ms out of 4s ≈ 6%).
+		prof, err = profile.New(profile.Config{
+			Dir:         filepath.Join(dataDir, "profiles"),
+			Interval:    4 * time.Second,
+			CPUDuration: 250 * time.Millisecond,
+			Metrics:     reg,
+		})
+		if err != nil {
+			jobs.Close()          //nolint:errcheck
+			os.RemoveAll(dataDir) //nolint:errcheck
+			return "", nil, err
+		}
+		prof.Start()
+	}
 	srv := serve.New(serve.Config{
 		Workers:    workers,
 		QueueDepth: queue,
 		Jobs:       jobs,
 		Metrics:    reg,
 		Journal:    obs.NewJournal(0),
+		Profiles:   prof,
 	})
 	srv.Start()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		prof.Close()
 		jobs.Close()          //nolint:errcheck
 		os.RemoveAll(dataDir) //nolint:errcheck
 		return "", nil, err
@@ -633,6 +710,7 @@ func startSelf(workers, queue int) (addr string, shutdown func(), err error) {
 		defer cancel()
 		httpSrv.Shutdown(ctx) //nolint:errcheck
 		srv.Drain(ctx)        //nolint:errcheck
+		prof.Close()
 		jobs.Close()          //nolint:errcheck
 		os.RemoveAll(dataDir) //nolint:errcheck
 	}

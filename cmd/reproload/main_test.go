@@ -13,7 +13,7 @@ import (
 // in-process durable server, the async-job phase (submit, dedup, poll,
 // verify), and a metrics scrape.
 func TestJobsPhaseAgainstSelf(t *testing.T) {
-	addr, shutdown, err := startSelf(2, 0)
+	addr, shutdown, err := startSelf(2, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}

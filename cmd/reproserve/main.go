@@ -31,6 +31,8 @@ import (
 	"repro/internal/cache"
 	"repro/internal/jobstore"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
+	"repro/internal/obs/slo"
 	"repro/internal/obs/trace"
 	"repro/internal/serve"
 )
@@ -50,6 +52,14 @@ func main() {
 		jobW    = flag.Int("job-workers", 0, "async job worker pool size (0 = default)")
 		rateL   = flag.Float64("rate-limit", 0, "admitted requests per second (0 = unlimited)")
 		rateB   = flag.Int("rate-burst", 0, "rate-limit burst size (0 = ceil(rate-limit))")
+
+		profDir   = flag.String("profile-dir", "", "continuous profiler capture dir (empty = profiler off)")
+		profEvery = flag.Duration("profile-interval", 30*time.Second, "continuous profiler cycle period")
+		profCPU   = flag.Duration("profile-cpu", 2*time.Second, "CPU profile length per cycle")
+		profKeep  = flag.Int("profile-keep", 64, "capture files kept in the on-disk ring")
+		sloAvail  = flag.Float64("slo-availability", 0, "availability SLO target, e.g. 0.999 (0 = default)")
+		sloLatP   = flag.Float64("slo-latency-target", 0, "latency SLO good fraction, e.g. 0.99 (0 = default)")
+		sloLatThr = flag.Duration("slo-latency-threshold", 0, "latency SLO threshold (0 = default 2s)")
 	)
 	flag.Parse()
 
@@ -72,6 +82,22 @@ func main() {
 		}
 		defer jobs.Close() //nolint:errcheck // compaction is best-effort on exit
 	}
+	var prof *profile.Profiler
+	if *profDir != "" {
+		var err error
+		prof, err = profile.New(profile.Config{
+			Dir:         *profDir,
+			Interval:    *profEvery,
+			CPUDuration: *profCPU,
+			MaxCaptures: *profKeep,
+			Metrics:     reg,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		prof.Start()
+		defer prof.Close()
+	}
 	srv := serve.New(serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -87,6 +113,12 @@ func main() {
 		Metrics:        reg,
 		Journal:        jnl,
 		Traces:         col,
+		Profiles:       prof,
+		SLO: slo.Config{
+			AvailabilityTarget: *sloAvail,
+			LatencyTarget:      *sloLatP,
+			LatencyThreshold:   *sloLatThr,
+		},
 	})
 	srv.Start()
 

@@ -97,10 +97,20 @@ func main() {
 		delta = math.Abs(float64(rpt.SumNS)-float64(e2e)) / float64(e2e)
 	}
 	fmt.Printf("  sum %.3fms vs e2e %.3fms (delta %.1f%%)\n", ms(rpt.SumNS), ms(e2e), 100*delta)
-	if *check > 0 && delta > *check {
-		fmt.Fprintf(os.Stderr, "reprotrace: critical-path sum deviates %.1f%% from e2e latency (allowed %.1f%%)\n",
-			100*delta, 100**check)
-		os.Exit(1)
+	if *check > 0 {
+		// An incomplete span set cannot support a reconciliation verdict:
+		// the missing spans could hold exactly the deviation being checked
+		// for, so -check refuses rather than passes silently.
+		if doc.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "reprotrace: trace is incomplete (%d spans dropped); -check cannot reconcile a partial tree\n",
+				doc.Dropped)
+			os.Exit(1)
+		}
+		if delta > *check {
+			fmt.Fprintf(os.Stderr, "reprotrace: critical-path sum deviates %.1f%% from e2e latency (allowed %.1f%%)\n",
+				100*delta, 100**check)
+			os.Exit(1)
+		}
 	}
 }
 

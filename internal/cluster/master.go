@@ -96,10 +96,10 @@ func RunMaster(comm mpi.Comm, s []byte, cfg Config) (*topalign.Result, error) {
 // flight is one task currently dispatched to at least one slave.
 type flight struct {
 	t        *topalign.Task
-	owners   map[int]bool   // slave ranks working on the task
-	deadline time.Time      // when the task becomes a straggler
+	owners   map[int]bool    // slave ranks working on the task
+	deadline time.Time       // when the task becomes a straggler
 	spans    []*trace.Active // open cluster.dispatch spans, one per copy
-	sentAt   int64          // recorder time of the latest dispatch
+	sentAt   int64           // recorder time of the latest dispatch
 }
 
 type master struct {
@@ -365,8 +365,12 @@ func (m *master) handleResult(from int, res msgResult) error {
 	}
 	// Fold the slave-side kernel time into the align_ns histogram,
 	// attributed per member, so cluster runs report a per-alignment
-	// latency instead of the zero it used to show.
+	// latency instead of the zero it used to show. CPU and kernel-tier
+	// attribution cross the boundary the same way: the slave measured,
+	// the master accounts.
 	m.e.Config().Counters.ObserveAlignLatencyPer(time.Duration(res.AlignNS), members)
+	m.e.Config().Counters.AddCPU(res.CPUNanos)
+	m.e.Config().Counters.AddTierAlignments(int(res.Tier), int64(members), res.Rerun)
 	if m.e.Config().GroupLanes > 1 {
 		t.MemberScores = res.Scores
 	}

@@ -68,6 +68,10 @@ type msgJob struct {
 // monotonic timeline; SlaveNow is that timeline's value at encode time,
 // so the master can re-base the spans onto its own timeline using the
 // link round-trip time (see master.reroot).
+// CPUNanos is the worker thread's CPU time for the job (thread clock,
+// so row-fetch waits cost nothing), and Tier/Rerun the kernel tier
+// that served it — the attribution fields the master folds into the
+// request's Usage record, crossing the process boundary like Spans.
 type msgResult struct {
 	R        int32
 	Version  int32
@@ -77,6 +81,9 @@ type msgResult struct {
 	Scores   []int32
 	Rows     [][]int32
 	Spans    []byte
+	CPUNanos int64
+	Tier     uint8
+	Rerun    bool
 }
 
 // msgTop broadcasts an accepted top alignment: the replica version it
@@ -247,6 +254,9 @@ func (m msgResult) encode() []byte {
 	}
 	b = appendU64(b, uint64(m.SlaveNow))
 	b = appendBytes(b, m.Spans)
+	b = appendU64(b, uint64(m.CPUNanos))
+	b = appendU32(b, uint32(m.Tier))
+	b = appendBool(b, m.Rerun)
 	return b
 }
 
@@ -267,6 +277,9 @@ func decodeResult(b []byte) (msgResult, error) {
 	}
 	m.SlaveNow = int64(r.u64())
 	m.Spans = r.bytes()
+	m.CPUNanos = int64(r.u64())
+	m.Tier = uint8(r.u32())
+	m.Rerun = r.bool()
 	return m, r.err
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/multialign"
 	"repro/internal/obs"
+	"repro/internal/obs/attrib"
 	"repro/internal/obs/trace"
 	"repro/internal/scoring"
 	"repro/internal/triangle"
@@ -364,6 +365,11 @@ func (sl *slave) work(job msgJob, sc *workScratch) error {
 			sl.reg.Histogram(fmt.Sprintf("cluster/job_ns/rank%d", rank)).Observe(time.Since(t0))
 		}(time.Now())
 	}
+	// Attribution: pin the thread for the job and meter its CPU. The
+	// thread clock stands still during row-fetch waits, so CPUNanos is
+	// pure compute — the master folds it into the request's Usage.
+	var cpu attrib.Stopwatch
+	cpu.Start()
 	sc.traced = !sl.trace.IsZero() && !job.Span.IsZero()
 	sc.spans = sc.spans[:0]
 	var jobStart int64
@@ -416,6 +422,7 @@ func (sl *slave) work(job msgJob, sc *workScratch) error {
 		res.SlaveNow = sl.now()
 		res.Spans = trace.EncodeSpans(sc.spans)
 	}
+	res.CPUNanos = cpu.Stop()
 	return sl.comm.Send(0, tagResult, res.encode())
 }
 
@@ -425,6 +432,7 @@ func (sl *slave) workScalar(r int, tri *triangle.Triangle, res *msgResult, sc *w
 	row := sl.score(s1, s2, tri, r, sc)
 	kns := sl.now() - t0
 	res.AlignNS += kns
+	res.Tier = uint8(multialign.TierScalar)
 	sc.span("slave.kernel", t0, kns)
 	if res.First {
 		sl.rows.Put(r, row) // Put copies; row is scratch-owned
@@ -447,6 +455,9 @@ func (sl *slave) workGroup(r0, members int, tri *triangle.Triangle, res *msgResu
 	res.AlignNS += kns
 	if err == nil {
 		sc.span("slave.kernel", t0, kns)
+		res.Tier, res.Rerun = uint8(g.Tier), g.Rerun
+	} else {
+		res.Tier = uint8(multialign.TierScalar)
 	}
 	if err != nil {
 		// scalar fallback per member

@@ -1,0 +1,22 @@
+package multialign_test
+
+import (
+	"testing"
+
+	"repro/internal/multialign"
+	"repro/internal/stats"
+)
+
+// stats.TierNames must mirror the multialign tier ladder — stats can't
+// import multialign (it sits below it in the dependency order), so the
+// correspondence is pinned here.
+func TestStatsTierNamesMatchLadder(t *testing.T) {
+	if int(multialign.TierInt16x16)+1 != stats.NumTiers {
+		t.Fatalf("stats.NumTiers = %d, ladder has %d tiers", stats.NumTiers, int(multialign.TierInt16x16)+1)
+	}
+	for i := 0; i < stats.NumTiers; i++ {
+		if got, want := stats.TierNames[i], multialign.Tier(i).String(); got != want {
+			t.Errorf("TierNames[%d] = %q, want %q", i, got, want)
+		}
+	}
+}

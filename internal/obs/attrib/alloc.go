@@ -1,0 +1,19 @@
+package attrib
+
+import "runtime/metrics"
+
+var allocSample = []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+
+// HeapAllocBytes returns the process's cumulative heap-allocation
+// counter. Deltas around an engine run approximate the run's
+// allocations; the counter is process-global, so concurrent neighbours
+// inflate the delta (see the package comment).
+func HeapAllocBytes() int64 {
+	s := make([]metrics.Sample, 1)
+	copy(s, allocSample)
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return int64(s[0].Value.Uint64())
+}

@@ -1,0 +1,14 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package attrib
+
+const threadCPUSupported = false
+
+// threadCPUNanos has no portable implementation; attribution degrades
+// to zeros and reconciliation is skipped (ThreadCPUSupported reports
+// false).
+func threadCPUNanos() int64 { return 0 }
+
+// ProcessCPU is unavailable without getrusage; reprostat treats 0 as
+// "no process clock" and skips reconciliation.
+func ProcessCPU() int64 { return 0 }

@@ -53,10 +53,29 @@ func WantsProm(r *http.Request) bool {
 	return plainAt >= 0 && (jsonAt < 0 || plainAt < jsonAt)
 }
 
+// WantsOpenMetrics reports whether the request asks for the
+// OpenMetrics 1.0 text format (exemplar-capable):
+// ?format=openmetrics, or an Accept header naming
+// application/openmetrics-text.
+func WantsOpenMetrics(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "openmetrics" {
+		return true
+	}
+	if f := r.URL.Query().Get("format"); f != "" {
+		return false // an explicit other format wins over Accept
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+}
+
 // HandleMetrics serves a registry snapshot with content negotiation
-// between JSON and the Prometheus text format. Shared by the debug
-// listener and the serving layer's /metrics endpoint.
+// between JSON, the Prometheus text format, and OpenMetrics. Shared by
+// the debug listener and the serving layer's /metrics endpoint.
 func HandleMetrics(w http.ResponseWriter, r *http.Request, reg *Registry) {
+	if WantsOpenMetrics(r) {
+		w.Header().Set("Content-Type", OpenMetricsContentType)
+		WriteOpenMetrics(w, reg.Snapshot()) //nolint:errcheck // client gone mid-body
+		return
+	}
 	if WantsProm(r) {
 		w.Header().Set("Content-Type", PromContentType)
 		WritePrometheus(w, reg.Snapshot()) //nolint:errcheck // client gone mid-body
@@ -84,12 +103,17 @@ func HandleTraceByID(w http.ResponseWriter, r *http.Request, col *trace.Collecto
 		trace.WriteChrome(w, spans) //nolint:errcheck
 		return
 	}
+	// The complete flag is the dropped-marker consumers key off: a
+	// truncated span set cannot reconcile a critical path, and tools
+	// like reprotrace -check must refuse rather than report a bogus
+	// attribution over a partial tree.
 	writeJSON(w, struct {
-		TraceID string           `json:"trace_id"`
-		Dropped uint64           `json:"dropped"`
-		Spans   []trace.SpanJSON `json:"spans"`
-		Tree    []*trace.Node    `json:"tree"`
-	}{tid.String(), dropped, trace.ToJSON(spans), trace.BuildTree(spans)})
+		TraceID  string           `json:"trace_id"`
+		Dropped  uint64           `json:"dropped"`
+		Complete bool             `json:"complete"`
+		Spans    []trace.SpanJSON `json:"spans"`
+		Tree     []*trace.Node    `json:"tree"`
+	}{tid.String(), dropped, dropped == 0, trace.ToJSON(spans), trace.BuildTree(spans)})
 }
 
 // StartDebug serves reg, jnl, and col (any may be nil) on addr. An

@@ -94,9 +94,21 @@ const HistogramBuckets = 35
 // writers are active sum(Buckets) >= Count holds — a snapshot is never
 // torn the other way.
 type Histogram struct {
-	buckets [HistogramBuckets]atomic.Int64
-	count   atomic.Int64
-	sum     atomic.Int64 // total nanoseconds
+	buckets   [HistogramBuckets]atomic.Int64
+	count     atomic.Int64
+	sum       atomic.Int64 // total nanoseconds
+	exemplars [HistogramBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observed value in a histogram bucket to the trace
+// that produced it, per the OpenMetrics exemplar model: a scrape of a
+// slow bucket carries a trace ID that resolves via GET /trace/{id}.
+// Each bucket keeps its most recent exemplar (last writer wins — recency
+// beats a sampling scheme for "why is this bucket hot right now").
+type Exemplar struct {
+	TraceID string `json:"trace_id"`
+	ValueNS int64  `json:"value_ns"`
+	UnixMS  int64  `json:"unix_ms"`
 }
 
 // bucketFor maps a duration in nanoseconds to its bucket index.
@@ -120,6 +132,27 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bucketFor(ns)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(ns)
+}
+
+// ObserveExemplar records one duration and tags its bucket with an
+// exemplar naming the trace that produced the observation. An empty
+// trace ID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID string) {
+	if h == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	b := bucketFor(ns)
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	if traceID != "" {
+		h.exemplars[b].Store(&Exemplar{
+			TraceID: traceID,
+			ValueNS: ns,
+			UnixMS:  time.Now().UnixMilli(),
+		})
+	}
 }
 
 // ObserveN records n observations of d each, in one pass. Group kernels
@@ -147,14 +180,44 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range s.Buckets {
 		s.Buckets[i] = h.buckets[i].Load()
 	}
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			s.Exemplars = append(s.Exemplars, BucketExemplar{Bucket: i, Exemplar: *e})
+		}
+	}
 	return s
 }
 
-// HistogramSnapshot is a point-in-time copy of a Histogram.
+// AddSnapshot folds a snapshot's counts into the live histogram (the
+// inverse direction of Snapshot). Exemplars are not carried over — they
+// decorate the scrape that observed them, not an aggregate. Nil-safe.
+func (h *Histogram) AddSnapshot(s HistogramSnapshot) {
+	if h == nil || s.Count == 0 {
+		return
+	}
+	for i, n := range s.Buckets {
+		if n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Exemplars
+// are scrape-local decoration: the stable binary codec (OBS1) does not
+// carry them, and Merge ignores them.
 type HistogramSnapshot struct {
-	Count   int64                   `json:"count"`
-	Sum     int64                   `json:"sum_ns"` // total nanoseconds
-	Buckets [HistogramBuckets]int64 `json:"buckets"`
+	Count     int64                   `json:"count"`
+	Sum       int64                   `json:"sum_ns"` // total nanoseconds
+	Buckets   [HistogramBuckets]int64 `json:"buckets"`
+	Exemplars []BucketExemplar        `json:"exemplars,omitempty"`
+}
+
+// BucketExemplar is one bucket's exemplar in a snapshot.
+type BucketExemplar struct {
+	Bucket int `json:"bucket"`
+	Exemplar
 }
 
 // Merge folds another snapshot into this one (e.g. to aggregate

@@ -1,0 +1,37 @@
+package profile
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+)
+
+// HandleList serves the ring index as JSON (GET /debug/profiles).
+func (p *Profiler) HandleList(w http.ResponseWriter, _ *http.Request) {
+	if p == nil {
+		http.Error(w, "profiler disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct { //nolint:errcheck
+		Captures []Capture `json:"captures"`
+	}{p.List()})
+}
+
+// HandleGet serves one capture's raw pprof bytes
+// (GET /debug/profiles/{name}); `go tool pprof <url>` works directly.
+func (p *Profiler) HandleGet(w http.ResponseWriter, r *http.Request, name string) {
+	data, err := p.Read(name)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if os.IsNotExist(err) || p == nil {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data) //nolint:errcheck
+}

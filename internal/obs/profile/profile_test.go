@@ -1,0 +1,157 @@
+package profile
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func newTestProfiler(t *testing.T, max int) *Profiler {
+	t.Helper()
+	p, err := New(Config{
+		Dir:         t.TempDir(),
+		Interval:    time.Hour, // loop never fires; tests drive CaptureNow
+		CPUDuration: 30 * time.Millisecond,
+		MaxCaptures: max,
+		Metrics:     obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCaptureCycleWritesCPUAndHeap(t *testing.T) {
+	p := newTestProfiler(t, 10)
+	p.CaptureNow()
+	caps := p.List()
+	if len(caps) != 2 {
+		t.Fatalf("want cpu+heap, got %v", caps)
+	}
+	kinds := map[string]bool{}
+	for _, c := range caps {
+		kinds[c.Kind] = true
+		if c.Bytes <= 0 {
+			t.Errorf("capture %s is empty", c.Name)
+		}
+		data, err := p.Read(c.Name)
+		if err != nil || len(data) == 0 {
+			t.Errorf("Read(%s): %v (%d bytes)", c.Name, err, len(data))
+		}
+		// pprof output is gzip-compressed protobuf: check the magic.
+		if len(data) >= 2 && (data[0] != 0x1f || data[1] != 0x8b) {
+			t.Errorf("capture %s is not gzip", c.Name)
+		}
+	}
+	if !kinds["cpu"] || !kinds["heap"] {
+		t.Fatalf("missing kind in %v", caps)
+	}
+}
+
+func TestRingTrimsOldest(t *testing.T) {
+	p := newTestProfiler(t, 4)
+	for i := 0; i < 4; i++ { // 8 files against a ring of 4
+		p.CaptureNow()
+	}
+	caps := p.List()
+	if len(caps) != 4 {
+		t.Fatalf("ring holds %d captures, want 4", len(caps))
+	}
+	// The survivors must be the newest sequences (3 and 4).
+	for _, c := range caps {
+		if c.Seq < 3 {
+			t.Errorf("old capture %s survived the trim", c.Name)
+		}
+	}
+}
+
+func TestSequenceResumesAcrossRestart(t *testing.T) {
+	p := newTestProfiler(t, 10)
+	p.CaptureNow()
+	p.CaptureNow()
+
+	// A second profiler over the same directory must continue, not
+	// overwrite.
+	p2, err := New(Config{Dir: p.cfg.Dir, Interval: time.Hour,
+		CPUDuration: 30 * time.Millisecond, MaxCaptures: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.CaptureNow()
+	caps := p2.List()
+	if len(caps) != 6 {
+		t.Fatalf("want 6 captures after restart, got %d", len(caps))
+	}
+	if last := caps[len(caps)-1]; last.Seq != 3 {
+		t.Fatalf("restart did not resume sequence: %+v", last)
+	}
+}
+
+func TestParseCaptureRejectsForeignNames(t *testing.T) {
+	for _, name := range []string{"cpu-1.pb", "x.pb.gz", "cpu.pb.gz", "../../etc/passwd", "goroutine-1.pb.gz"} {
+		if _, _, ok := parseCapture(name); ok {
+			t.Errorf("parseCapture accepted %q", name)
+		}
+	}
+	kind, seq, ok := parseCapture("heap-000042.pb.gz")
+	if !ok || kind != "heap" || seq != 42 {
+		t.Fatalf("parseCapture(heap-000042) = %q %d %v", kind, seq, ok)
+	}
+}
+
+func TestHTTPHandlers(t *testing.T) {
+	p := newTestProfiler(t, 10)
+	p.CaptureNow()
+
+	rw := httptest.NewRecorder()
+	p.HandleList(rw, httptest.NewRequest("GET", "/debug/profiles", nil))
+	var doc struct {
+		Captures []Capture `json:"captures"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("list JSON: %v", err)
+	}
+	if len(doc.Captures) != 2 {
+		t.Fatalf("list = %+v", doc.Captures)
+	}
+
+	rw = httptest.NewRecorder()
+	p.HandleGet(rw, httptest.NewRequest("GET", "/", nil), doc.Captures[0].Name)
+	if rw.Code != 200 || rw.Body.Len() == 0 {
+		t.Fatalf("get: %d (%d bytes)", rw.Code, rw.Body.Len())
+	}
+
+	rw = httptest.NewRecorder()
+	p.HandleGet(rw, httptest.NewRequest("GET", "/", nil), "../escape")
+	if rw.Code != 404 {
+		t.Fatalf("traversal name: %d, want 404", rw.Code)
+	}
+
+	var nilP *Profiler
+	rw = httptest.NewRecorder()
+	nilP.HandleList(rw, httptest.NewRequest("GET", "/", nil))
+	if rw.Code != 404 {
+		t.Fatalf("nil list: %d, want 404", rw.Code)
+	}
+}
+
+func TestStartCloseLifecycle(t *testing.T) {
+	p, err := New(Config{Dir: t.TempDir(), Interval: 50 * time.Millisecond,
+		CPUDuration: 10 * time.Millisecond, MaxCaptures: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	time.Sleep(150 * time.Millisecond)
+	p.Close()
+	if len(p.List()) == 0 {
+		t.Fatal("running profiler captured nothing")
+	}
+	var nilP *Profiler
+	nilP.Start()
+	nilP.Close()
+	nilP.CaptureNow()
+}

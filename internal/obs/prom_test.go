@@ -70,6 +70,96 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+// TestPromLabelEscaping: label values containing backslash, quote, and
+// newline must be escaped per the exposition format spec — a hostile
+// shard label cannot corrupt the scrape.
+func TestPromLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	hostile := "http://evil\"\nshard\\:8080"
+	reg.Counter(LabeledName("router/shard_requests", "shard", hostile)).Add(5)
+	reg.Counter(LabeledName("router/shard_requests", "shard", "http://ok:1")).Add(2)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `router_shard_requests{shard="http://evil\"\nshard\\:8080"} 5`
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing escaped line %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, `router_shard_requests{shard="http://ok:1"} 2`) {
+		t.Errorf("exposition missing plain labeled line:\n%s", out)
+	}
+	// One TYPE line for the whole family, not one per label set.
+	if n := strings.Count(out, "# TYPE router_shard_requests counter"); n != 1 {
+		t.Errorf("family TYPE line emitted %d times, want 1:\n%s", n, out)
+	}
+	// The raw newline must not survive into the exposition: every line
+	// must be a comment, an escaped sample, or empty.
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, " ") {
+			t.Errorf("scrape line %q has no value — a label leaked a newline", line)
+		}
+	}
+}
+
+func TestLabeledNameRoundTrip(t *testing.T) {
+	name := LabeledName("serve/usage_cpu_ns", "backend", "cluster", "tier", "int16x16")
+	base, pairs := splitLabeled(name)
+	if base != "serve/usage_cpu_ns" || len(pairs) != 2 ||
+		pairs[0] != [2]string{"backend", "cluster"} || pairs[1] != [2]string{"tier", "int16x16"} {
+		t.Fatalf("splitLabeled(%q) = %q %v", name, base, pairs)
+	}
+	if b, p := splitLabeled("plain/name"); b != "plain/name" || p != nil {
+		t.Fatalf("unlabeled name mangled: %q %v", b, p)
+	}
+}
+
+// TestWriteOpenMetrics: counters gain _total, le bounds are canonical
+// floats, exemplars render with trace IDs, and the document ends with
+// # EOF.
+func TestWriteOpenMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve/requests").Add(3)
+	reg.Gauge("serve/queue_depth").Set(1)
+	h := reg.Histogram("serve/e2e_ns")
+	tid := trace.NewTraceID().String()
+	h.ObserveExemplar(3*time.Nanosecond, tid) // bucket [2,4)
+
+	var sb strings.Builder
+	if err := WriteOpenMetrics(&sb, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE serve_requests counter\nserve_requests_total 3\n",
+		"serve_queue_depth 1\n",
+		`serve_e2e_ns_bucket{le="2.0"} 0`,
+		fmt.Sprintf(`serve_e2e_ns_bucket{le="4.0"} 1 # {trace_id="%s"} 3 `, tid),
+		`serve_e2e_ns_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("openmetrics missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("openmetrics does not end with # EOF:\n%s", out[len(out)-40:])
+	}
+	// A plain Prometheus scrape of the same registry must not carry
+	// exemplars or _total.
+	sb.Reset()
+	if err := WritePrometheus(&sb, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "trace_id") || strings.Contains(sb.String(), "_total") {
+		t.Errorf("prometheus 0.0.4 output leaked openmetrics syntax:\n%s", sb.String())
+	}
+}
+
 // TestMetricsContentNegotiation exercises the /metrics endpoint's format
 // selection: JSON by default, Prometheus text via ?format=prom or an
 // Accept header preferring text/plain.

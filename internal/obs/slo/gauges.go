@@ -1,0 +1,27 @@
+package slo
+
+import "repro/internal/obs"
+
+// Publish writes the current burn state into reg as gauges (burn rates
+// in milli-units, since obs gauges are integers):
+//
+//	slo/<objective>/fast_burn_milli
+//	slo/<objective>/slow_burn_milli
+//	slo/<objective>/burning (0/1)
+//
+// Burn is computed at read time, so callers invoke Publish just before
+// a registry snapshot (the /metrics handler does). Nil-safe.
+func (t *Tracker) Publish(reg *obs.Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	for _, st := range t.Snapshot() {
+		reg.Gauge("slo/" + st.Name + "/fast_burn_milli").Set(int64(st.Fast.Burn * 1000))
+		reg.Gauge("slo/" + st.Name + "/slow_burn_milli").Set(int64(st.Slow.Burn * 1000))
+		var burning int64
+		if st.Burning {
+			burning = 1
+		}
+		reg.Gauge("slo/" + st.Name + "/burning").Set(burning)
+	}
+}

@@ -1,0 +1,237 @@
+// Package slo implements multi-window burn-rate tracking over service
+// level objectives, following the SRE workbook's multi-window
+// multi-burn-rate alerting recipe: an objective (say 99.9%
+// availability) defines an error budget (0.1% of requests); the burn
+// rate over a window is the observed bad fraction divided by the
+// budget. Burn 1.0 spends exactly the budget over the SLO period;
+// burn 14.4 over 5 minutes is the classic page-now threshold (it
+// spends 2% of a 30-day budget in an hour).
+//
+// A Tracker holds one ring of per-second good/bad buckets per
+// objective and computes burn over two windows (fast 5m, slow 1h) by
+// scanning the ring at read time — recording is two atomic adds, so
+// the serving hot path pays nanoseconds and never locks. Reads are
+// approximate under concurrent writes (a scan may straddle a bucket
+// update); burn rates feed alerts and admission hints, not billing.
+//
+// All methods are nil-safe, matching the obs conventions.
+package slo
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Default windows for burn computation.
+const (
+	FastWindow = 5 * time.Minute
+	SlowWindow = time.Hour
+)
+
+// ringSeconds sizes each objective's bucket ring. It must exceed the
+// slow window by enough slack that a read scanning backwards never
+// races the writer recycling the bucket the scan starts from.
+const ringSeconds = 3700
+
+// PageBurn is the conventional fast-window burn threshold above which
+// an SLO is considered actively burning (the SRE workbook's 14.4: a
+// 5-minute window at this rate spends a 30-day budget in ~2 days, and
+// paired with a 1-hour window it pages within minutes of a real
+// outage). The router uses it as its admission hint threshold.
+const PageBurn = 14.4
+
+// Objective is one SLO: a name and a target fraction of good events
+// (0 < Target < 1). What counts as "bad" is the recorder's business:
+// the availability objective records errors, the latency objective
+// records requests slower than its threshold.
+type Objective struct {
+	Name string
+	// Target is the good fraction the SLO promises, e.g. 0.999.
+	Target float64
+	// LatencyThreshold, when nonzero, marks this as a latency
+	// objective: Record treats durations above it as bad. Zero means
+	// the recorder classifies events itself (availability).
+	LatencyThreshold time.Duration
+}
+
+// bucket is one second of events for one objective.
+type bucket struct {
+	sec  atomic.Int64 // unix second this bucket currently holds
+	good atomic.Int64
+	bad  atomic.Int64
+}
+
+// series is the per-objective ring.
+type series struct {
+	obj     Objective
+	buckets [ringSeconds]bucket
+}
+
+// Tracker records request outcomes against a set of objectives.
+// Create with New; the zero value tracks nothing (but is safe).
+type Tracker struct {
+	objectives []*series
+	epoch      time.Time // monotonic base; buckets are seconds since epoch
+}
+
+// Config configures a Tracker.
+type Config struct {
+	// AvailabilityTarget is the good fraction for the availability
+	// objective (0 = 0.999).
+	AvailabilityTarget float64
+	// LatencyTarget is the good fraction for the latency objective
+	// (0 = 0.99).
+	LatencyTarget float64
+	// LatencyThreshold is the p-quantile latency bound requests must
+	// meet (0 = 2s). A request slower than this is "bad" for the
+	// latency objective even if it succeeded.
+	LatencyThreshold time.Duration
+}
+
+// New builds a tracker with the standard two objectives:
+// "availability" (request did not error or shed) and "latency_p99"
+// (request completed under the threshold).
+func New(cfg Config) *Tracker {
+	if cfg.AvailabilityTarget <= 0 || cfg.AvailabilityTarget >= 1 {
+		cfg.AvailabilityTarget = 0.999
+	}
+	if cfg.LatencyTarget <= 0 || cfg.LatencyTarget >= 1 {
+		cfg.LatencyTarget = 0.99
+	}
+	if cfg.LatencyThreshold <= 0 {
+		cfg.LatencyThreshold = 2 * time.Second
+	}
+	return &Tracker{
+		epoch: time.Now(),
+		objectives: []*series{
+			{obj: Objective{Name: "availability", Target: cfg.AvailabilityTarget}},
+			{obj: Objective{Name: "latency_p99", Target: cfg.LatencyTarget,
+				LatencyThreshold: cfg.LatencyThreshold}},
+		},
+	}
+}
+
+// now returns whole seconds since the tracker's epoch (monotonic, so
+// wall-clock steps cannot tear the ring).
+func (t *Tracker) now() int64 { return int64(time.Since(t.epoch) / time.Second) }
+
+// Record scores one finished request against every objective: ok is
+// the availability outcome, d the end-to-end latency. Two atomic adds
+// per objective; safe for any number of concurrent callers.
+func (t *Tracker) Record(ok bool, d time.Duration) {
+	if t == nil {
+		return
+	}
+	sec := t.now()
+	for _, s := range t.objectives {
+		bad := !ok
+		if s.obj.LatencyThreshold > 0 {
+			// A shed/errored request is bad for latency too: the client
+			// did not get an answer inside the threshold.
+			bad = !ok || d > s.obj.LatencyThreshold
+		}
+		b := &s.buckets[sec%ringSeconds]
+		if b.sec.Load() != sec {
+			// First writer of a new second recycles the bucket. A racing
+			// writer may add to the bucket between Store calls; the loss
+			// is bounded by one bucket of one second.
+			b.sec.Store(sec)
+			b.good.Store(0)
+			b.bad.Store(0)
+		}
+		if bad {
+			b.bad.Add(1)
+		} else {
+			b.good.Add(1)
+		}
+	}
+}
+
+// WindowBurn is one objective's burn state over one window.
+type WindowBurn struct {
+	Window  time.Duration `json:"window"`
+	Good    int64         `json:"good"`
+	Bad     int64         `json:"bad"`
+	BadFrac float64       `json:"bad_fraction"`
+	// Burn is BadFrac / (1 - Target): 1.0 spends the budget exactly,
+	// PageBurn (14.4) is the page-now line. 0 when the window is empty.
+	Burn float64 `json:"burn"`
+}
+
+// Status is one objective's full burn state.
+type Status struct {
+	Name   string  `json:"name"`
+	Target float64 `json:"target"`
+	// LatencyThresholdNS is present on latency objectives.
+	LatencyThresholdNS int64      `json:"latency_threshold_ns,omitempty"`
+	Fast               WindowBurn `json:"fast"`
+	Slow               WindowBurn `json:"slow"`
+	// Burning is the multi-window alert condition: both windows above
+	// PageBurn (fast alone is noise, slow alone is stale).
+	Burning bool `json:"burning"`
+}
+
+// Snapshot computes every objective's burn state. O(ring) per
+// objective; intended for scrape/admission cadence, not per-request.
+func (t *Tracker) Snapshot() []Status {
+	if t == nil {
+		return nil
+	}
+	sec := t.now()
+	out := make([]Status, 0, len(t.objectives))
+	for _, s := range t.objectives {
+		st := Status{Name: s.obj.Name, Target: s.obj.Target,
+			LatencyThresholdNS: int64(s.obj.LatencyThreshold)}
+		st.Fast = s.burn(sec, FastWindow)
+		st.Slow = s.burn(sec, SlowWindow)
+		st.Burning = st.Fast.Burn >= PageBurn && st.Slow.Burn >= PageBurn
+		out = append(out, st)
+	}
+	return out
+}
+
+// FastBurn returns the named objective's fast-window burn (0 when the
+// objective does not exist or the tracker is nil). The router's
+// admission hint reads this.
+func (t *Tracker) FastBurn(name string) float64 {
+	if t == nil {
+		return 0
+	}
+	sec := t.now()
+	for _, s := range t.objectives {
+		if s.obj.Name == name {
+			return s.burn(sec, FastWindow).Burn
+		}
+	}
+	return 0
+}
+
+// burn scans the last window of buckets. The current (partial) second
+// is included; buckets whose stamp is outside the window are skipped
+// (they hold a previous lap of the ring).
+func (s *series) burn(nowSec int64, window time.Duration) WindowBurn {
+	w := WindowBurn{Window: window}
+	secs := int64(window / time.Second)
+	lo := nowSec - secs + 1
+	if lo < 0 {
+		lo = 0
+	}
+	for sec := lo; sec <= nowSec; sec++ {
+		b := &s.buckets[sec%ringSeconds]
+		if b.sec.Load() != sec {
+			continue
+		}
+		w.Good += b.good.Load()
+		w.Bad += b.bad.Load()
+	}
+	total := w.Good + w.Bad
+	if total == 0 {
+		return w
+	}
+	w.BadFrac = float64(w.Bad) / float64(total)
+	budget := 1 - s.obj.Target
+	if budget > 0 {
+		w.Burn = w.BadFrac / budget
+	}
+	return w
+}

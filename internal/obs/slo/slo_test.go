@@ -1,0 +1,126 @@
+package slo
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestNilTrackerSafe(t *testing.T) {
+	var tr *Tracker
+	tr.Record(true, time.Millisecond)
+	if tr.Snapshot() != nil || tr.FastBurn("availability") != 0 {
+		t.Fatal("nil tracker must be inert")
+	}
+	tr.Publish(obs.NewRegistry())
+}
+
+func TestBurnMath(t *testing.T) {
+	tr := New(Config{AvailabilityTarget: 0.9}) // budget = 0.1
+	for i := 0; i < 80; i++ {
+		tr.Record(true, time.Millisecond)
+	}
+	for i := 0; i < 20; i++ {
+		tr.Record(false, time.Millisecond)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("want 2 objectives, got %d", len(snap))
+	}
+	av := snap[0]
+	if av.Name != "availability" {
+		t.Fatalf("objective order changed: %q", av.Name)
+	}
+	if av.Fast.Good != 80 || av.Fast.Bad != 20 {
+		t.Fatalf("fast window counts: %+v", av.Fast)
+	}
+	// bad_frac 0.2 over budget 0.1 => burn 2.0
+	if av.Fast.Burn < 1.99 || av.Fast.Burn > 2.01 {
+		t.Fatalf("burn = %v, want 2.0", av.Fast.Burn)
+	}
+	// Slow window covers the same events.
+	if av.Slow.Burn < 1.99 || av.Slow.Burn > 2.01 {
+		t.Fatalf("slow burn = %v, want 2.0", av.Slow.Burn)
+	}
+	if av.Burning {
+		t.Fatal("burn 2.0 must not page (threshold 14.4)")
+	}
+}
+
+func TestLatencyObjectiveClassifies(t *testing.T) {
+	tr := New(Config{LatencyThreshold: 10 * time.Millisecond, LatencyTarget: 0.5})
+	tr.Record(true, time.Millisecond)    // good
+	tr.Record(true, 20*time.Millisecond) // slow: bad for latency, good for availability
+	tr.Record(false, time.Millisecond)   // error: bad for both
+	snap := tr.Snapshot()
+	av, lat := snap[0], snap[1]
+	if av.Fast.Bad != 1 || av.Fast.Good != 2 {
+		t.Fatalf("availability counts: %+v", av.Fast)
+	}
+	if lat.Fast.Bad != 2 || lat.Fast.Good != 1 {
+		t.Fatalf("latency counts: %+v", lat.Fast)
+	}
+	if lat.LatencyThresholdNS != int64(10*time.Millisecond) {
+		t.Fatalf("threshold not reported: %d", lat.LatencyThresholdNS)
+	}
+}
+
+func TestBurningNeedsBothWindows(t *testing.T) {
+	tr := New(Config{AvailabilityTarget: 0.999})
+	// 100% failure: burn = 1/0.001 = 1000 in both windows (same events),
+	// so multi-window condition trips.
+	for i := 0; i < 50; i++ {
+		tr.Record(false, time.Millisecond)
+	}
+	snap := tr.Snapshot()
+	if !snap[0].Burning {
+		t.Fatalf("total outage must burn: %+v", snap[0])
+	}
+	if got := tr.FastBurn("availability"); got < PageBurn {
+		t.Fatalf("FastBurn = %v, want >= %v", got, PageBurn)
+	}
+	if tr.FastBurn("no-such-objective") != 0 {
+		t.Fatal("unknown objective must read 0")
+	}
+}
+
+func TestPublishGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := New(Config{AvailabilityTarget: 0.9})
+	for i := 0; i < 10; i++ {
+		tr.Record(false, time.Millisecond)
+	}
+	tr.Publish(reg)
+	snap := reg.Snapshot()
+	if snap.Gauges["slo/availability/fast_burn_milli"] != 10000 {
+		t.Fatalf("fast_burn_milli = %d, want 10000 (burn 10.0)",
+			snap.Gauges["slo/availability/fast_burn_milli"])
+	}
+	if snap.Gauges["slo/availability/burning"] != 0 {
+		t.Fatal("burn 10 < 14.4 must not page")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := New(Config{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				tr.Record(j%10 != 0, time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := tr.Snapshot()
+	total := snap[0].Fast.Good + snap[0].Fast.Bad
+	// Recycling races can lose at most a handful of events across the
+	// one or two seconds this test spans.
+	if total < 3900 || total > 4000 {
+		t.Fatalf("lost too many events: %d / 4000", total)
+	}
+}

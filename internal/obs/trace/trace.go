@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -159,6 +160,7 @@ const (
 // spans are dropped and counted). All methods are nil-safe.
 type Collector struct {
 	epoch time.Time
+	drops atomic.Uint64 // spans dropped across every trace, ever
 
 	mu            sync.Mutex
 	maxTraces     int
@@ -243,6 +245,17 @@ func (c *Collector) Get(id TraceID) (spans []Span, dropped uint64, ok bool) {
 	return spans, dropped, true
 }
 
+// DroppedTotal returns the number of spans dropped by per-trace buffer
+// bounds across the collector's lifetime (0 for nil). Unlike the
+// per-trace count returned by Get, this total survives trace eviction,
+// so the trace/spans_dropped metric never undercounts.
+func (c *Collector) DroppedTotal() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.drops.Load()
+}
+
 // Len returns the number of retained traces.
 func (c *Collector) Len() int {
 	if c == nil {
@@ -286,12 +299,16 @@ func (r *Recorder) Add(sp Span) {
 	}
 	sp.Trace = r.id
 	r.buf.mu.Lock()
-	if len(r.buf.spans) < r.buf.limit {
+	kept := len(r.buf.spans) < r.buf.limit
+	if kept {
 		r.buf.spans = append(r.buf.spans, sp)
 	} else {
 		r.buf.dropped++
 	}
 	r.buf.mu.Unlock()
+	if !kept {
+		r.c.drops.Add(1)
+	}
 }
 
 // Start opens a span under parent (zero parent = root) and returns the

@@ -122,6 +122,21 @@ func TestCollectorSpanBound(t *testing.T) {
 			t.Errorf("span not stamped with the trace id: %+v", sp)
 		}
 	}
+	// The collector-wide total matches, and — unlike the per-trace
+	// count — survives eviction of the trace that dropped.
+	if got := col.DroppedTotal(); got != 2 {
+		t.Errorf("DroppedTotal = %d, want 2", got)
+	}
+	rec2 := col.Rec(NewTraceID())
+	for i := 0; i < 4; i++ {
+		rec2.Add(Span{ID: NewSpanID(), Name: "s"})
+	}
+	if got := col.DroppedTotal(); got != 3 {
+		t.Errorf("DroppedTotal after second trace = %d, want 3", got)
+	}
+	if (*Collector)(nil).DroppedTotal() != 0 {
+		t.Error("nil collector DroppedTotal != 0")
+	}
 }
 
 func TestCollectorTraceEviction(t *testing.T) {

@@ -53,6 +53,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/obs/attrib"
 	"repro/internal/topalign"
 	"repro/internal/triangle"
 )
@@ -111,6 +112,11 @@ func Run(e *topalign.Engine, pcfg Config) error {
 			wsp.SetRank(cfg.SpanRank)
 			wsp.SetArg(int64(idx))
 			defer wsp.End()
+			// Pin the worker to its thread and attribute its CPU for
+			// the whole loop — one clock read per worker, not per task.
+			var sw attrib.Stopwatch
+			sw.Start()
+			defer func() { cfg.Counters.AddCPU(sw.Stop()) }()
 			st.worker(topalign.NewScratch())
 		}(w)
 	}

@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/attrib"
+	"repro/internal/obs/slo"
 	"repro/internal/obs/trace"
 )
 
@@ -46,9 +48,33 @@ func (s *Server) Handler() http.Handler {
 	}
 	if s.cfg.Metrics != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			// Scrape-time gauges: burn rates are computed on read, and
+			// proc/cpu_ns gives reprostat the denominator for CPU
+			// reconciliation without a second endpoint.
+			s.slo.Publish(s.cfg.Metrics)
+			s.cfg.Metrics.Gauge("proc/cpu_ns").Set(attrib.ProcessCPU())
+			if s.cfg.Traces != nil {
+				// Sync the collector's lifetime drop total into a counter
+				// (monotone by construction: the total never decreases).
+				c := s.cfg.Metrics.Counter("trace/spans_dropped")
+				if d := int64(s.cfg.Traces.DroppedTotal()); d > c.Load() {
+					c.Add(d - c.Load())
+				}
+			}
 			obs.HandleMetrics(w, r, s.cfg.Metrics)
 		})
 	}
+	mux.HandleFunc("GET /slo", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Objectives []slo.Status `json:"objectives"`
+		}{s.slo.Snapshot()})
+	})
+	// Continuous-profiler ring (404 when no profiler is configured —
+	// the handlers are nil-safe, so the routes always exist).
+	mux.HandleFunc("GET /debug/profiles", s.cfg.Profiles.HandleList)
+	mux.HandleFunc("GET /debug/profiles/{name}", func(w http.ResponseWriter, r *http.Request) {
+		s.cfg.Profiles.HandleGet(w, r, r.PathValue("name"))
+	})
 	if s.cfg.Traces != nil {
 		mux.HandleFunc("/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
 			obs.HandleTraceByID(w, r, s.cfg.Traces, r.PathValue("id"))
@@ -190,6 +216,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusUnprocessableEntity, res.err.Error())
 			return
 		}
+		setResourceHeaders(w.Header(), res.usage)
 		writeAnalyzeResponse(w, req.ID, res.outcome.String(),
 			float64(time.Since(start).Microseconds())/1e3, res.report)
 	case <-ctx.Done():
@@ -224,6 +251,27 @@ func writeAnalyzeResponse(w http.ResponseWriter, id, outcome string, elapsedMS f
 	w.Write(env.Bytes())   //nolint:errcheck
 	w.Write(report)        //nolint:errcheck
 	w.Write([]byte("}\n")) //nolint:errcheck
+}
+
+// setResourceHeaders surfaces the request's attribution record as
+// X-Resource-* response headers, so clients and the router see cost
+// without parsing the report body. Zero-valued dimensions are omitted
+// (a cache hit carries no CPU header, only cache bytes).
+func setResourceHeaders(h http.Header, u *attrib.Usage) {
+	if u == nil {
+		return
+	}
+	set := func(name string, v int64) {
+		if v != 0 {
+			h.Set(name, strconv.FormatInt(v, 10))
+		}
+	}
+	set("X-Resource-Cpu-Ns", u.CPUNanos)
+	set("X-Resource-Cells", u.Cells)
+	set("X-Resource-Alloc-Bytes", u.AllocBytes)
+	set("X-Resource-Queue-Ns", u.QueueWaitNanos)
+	set("X-Resource-Cache-Read-Bytes", u.CacheBytesRead)
+	set("X-Resource-Cache-Written-Bytes", u.CacheBytesWritten)
 }
 
 // mustJSONString encodes an arbitrary string as a JSON string literal.

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,7 +40,11 @@ import (
 	"repro/internal/jobstore"
 	"repro/internal/multialign"
 	"repro/internal/obs"
+	"repro/internal/obs/attrib"
+	"repro/internal/obs/profile"
+	"repro/internal/obs/slo"
 	"repro/internal/obs/trace"
+	"repro/internal/stats"
 )
 
 // Config sizes a Server. The zero value is usable: it serves with
@@ -105,6 +110,15 @@ type Config struct {
 	// /trace/{id} serves the finished trace as a span tree or Chrome
 	// trace_event JSON.
 	Traces *trace.Collector
+	// SLO configures the burn-rate tracker (zero value = 99.9%
+	// availability, 99% of requests under 2s). The tracker is always
+	// on — it costs a few atomic adds per request — and is served on
+	// GET /slo and as slo/ gauges on /metrics.
+	SLO slo.Config
+	// Profiles, when non-nil, is the continuous profiler whose capture
+	// ring is served on GET /debug/profiles. The server does not start
+	// or stop it — lifecycle belongs to the daemon (cmd/reproserve).
+	Profiles *profile.Profiler
 }
 
 func (c Config) withDefaults() Config {
@@ -181,6 +195,19 @@ type Server struct {
 	engineCells   *obs.Counter
 	engineAligns  *obs.Counter
 
+	// Resource attribution (DESIGN.md §16): per-request usage
+	// histograms, the attributed-CPU total reprostat reconciles against
+	// proc/cpu_ns, and the SLO burn tracker.
+	usageCPUNS    *obs.Histogram
+	usageCells    *obs.Histogram
+	usageAllocB   *obs.Histogram
+	usageQueueNS  *obs.Histogram
+	attribCPU     *obs.Counter
+	cacheBytesIn  *obs.Counter    // report bytes served from cache (reads)
+	cacheBytesOut *obs.Counter    // report bytes written through to cache
+	engineCtrs    *stats.Counters // lifetime engine/ counters, folded per run
+	slo           *slo.Tracker
+
 	jobsSubmitted *obs.Counter
 	jobsDeduped   *obs.Counter
 	jobsCompleted *obs.Counter
@@ -218,7 +245,22 @@ func New(cfg Config) *Server {
 		jobsFailed:    cfg.Metrics.Counter("serve/jobs_failed"),
 		jobsRetries:   cfg.Metrics.Counter("serve/jobs_retries"),
 		jobsRecovered: cfg.Metrics.Counter("serve/jobs_recovered"),
+
+		usageCPUNS:    cfg.Metrics.Histogram("serve/usage_cpu_ns"),
+		usageCells:    cfg.Metrics.Histogram("serve/usage_cells"),
+		usageAllocB:   cfg.Metrics.Histogram("serve/usage_alloc_bytes"),
+		usageQueueNS:  cfg.Metrics.Histogram("serve/usage_queue_wait_ns"),
+		attribCPU:     cfg.Metrics.Counter("serve/attrib_cpu_ns"),
+		cacheBytesIn:  cfg.Metrics.Counter("serve/cache_bytes_read"),
+		cacheBytesOut: cfg.Metrics.Counter("serve/cache_bytes_written"),
+		engineCtrs:    &stats.Counters{},
+		slo:           slo.New(cfg.SLO),
 	}
+	// One lifetime engine counter set, bound once: every engine run
+	// folds its per-run snapshot in (repro.Options.Counters), so the
+	// exported engine/ series are cumulative — the denominators
+	// reprostat reconciles attributed CPU against.
+	s.engineCtrs.Bind(cfg.Metrics)
 	// SIMD diagnostics, stamped once at construction: the group-kernel
 	// tier ladder ordinal (0 scalar, 1 int32x8, 2 int16x16) plus a
 	// one-hot gauge per tier name, so /metrics consumers can match on
@@ -318,6 +360,7 @@ type job struct {
 type jobResult struct {
 	report  []byte // pre-encoded repro.Report JSON
 	outcome cache.Outcome
+	usage   *attrib.Usage // per-request attribution (nil on error)
 	err     error
 }
 
@@ -334,6 +377,10 @@ func (s *Server) recordShed(seq int64, cause int64) {
 		s.shedRateLimit.Inc()
 	}
 	s.jnl.Record(obs.EvShed, -1, int64(seq), cause)
+	// A shed request is an availability failure the client saw; score
+	// it against every objective so burn tracks what users experience,
+	// not just what the engine ran.
+	s.slo.Record(false, 0)
 }
 
 // admit places a job on the queue, or reports the shed cause. For
@@ -376,18 +423,46 @@ func (s *Server) worker() {
 			j.done <- jobResult{err: j.ctx.Err()}
 			continue
 		}
-		rep, outcome, err := s.compute(j)
+		qwait := time.Since(j.enqueued)
+		rep, outcome, usage, err := s.compute(j)
+		e2e := time.Since(j.enqueued)
 		if err != nil {
 			s.errored.Inc()
 		} else {
 			s.completed.Inc()
-			e2e := time.Since(j.enqueued)
-			s.e2eNS.Observe(e2e)
+			// The e2e histogram carries OpenMetrics exemplars: a scrape of
+			// a slow bucket links straight to the trace that filled it.
+			var tid string
+			if j.rec != nil {
+				tid = j.rec.TraceID().String()
+			}
+			s.e2eNS.ObserveExemplar(e2e, tid)
 			s.jnl.Record(obs.EvServe, -1, int64(j.seq), e2e.Nanoseconds())
 		}
-		j.done <- jobResult{report: rep, outcome: outcome, err: err}
+		s.slo.Record(err == nil, e2e)
+		if usage != nil {
+			usage.QueueWaitNanos = qwait.Nanoseconds()
+			s.observeUsage(usage)
+		}
+		j.done <- jobResult{report: rep, outcome: outcome, usage: usage, err: err}
 	}
 }
+
+// observeUsage folds one request's attribution record into the
+// per-dimension histograms and the attributed-CPU total that reprostat
+// reconciles against process CPU.
+func (s *Server) observeUsage(u *attrib.Usage) {
+	s.usageQueueNS.Observe(time.Duration(u.QueueWaitNanos))
+	s.usageCPUNS.Observe(time.Duration(u.CPUNanos))
+	s.usageCells.Observe(time.Duration(u.Cells))
+	s.usageAllocB.Observe(time.Duration(u.AllocBytes))
+	s.attribCPU.Add(u.CPUNanos)
+	s.cacheBytesIn.Add(u.CacheBytesRead)
+	s.cacheBytesOut.Add(u.CacheBytesWritten)
+}
+
+// SLO exposes the burn-rate tracker (for the HTTP layer and tests).
+func (s *Server) SLO() *slo.Tracker { return s.slo }
 
 // compute satisfies a job from the cache or the engine. Results are
 // cached pre-encoded: a hit serves stored bytes, so the hot path never
@@ -398,20 +473,28 @@ func (s *Server) worker() {
 // exclusive-time attribution charges only the non-engine remainder to
 // the cache. A singleflight ride-along is renamed cache.wait — the
 // time was spent waiting on another request's engine run.
-func (s *Server) compute(j *job) ([]byte, cache.Outcome, error) {
+func (s *Server) compute(j *job) ([]byte, cache.Outcome, *attrib.Usage, error) {
+	// engineUsage escapes the run closure: when this goroutine is the
+	// one that computes (Miss), it carries the engine's attribution out
+	// of the cache layer. Ride-alongs and hits leave it nil — their
+	// cost is the cached bytes they read, not the leader's CPU.
+	var engineUsage *attrib.Usage
 	if s.cache == nil {
 		run := func() (any, error) {
 			rep, err := s.runEngine(j.req, j.rec, j.root)
 			if err != nil {
 				return nil, err
 			}
+			engineUsage = rep.Usage
 			return json.Marshal(rep)
 		}
 		v, err := run()
 		if err != nil {
-			return nil, cache.Miss, err
+			return nil, cache.Miss, nil, err
 		}
-		return v.([]byte), cache.Miss, nil
+		usage := &attrib.Usage{}
+		usage.Add(engineUsage)
+		return v.([]byte), cache.Miss, usage, nil
 	}
 	csp := j.rec.Start(j.root, "cache.lookup")
 	defer csp.End()
@@ -420,6 +503,7 @@ func (s *Server) compute(j *job) ([]byte, cache.Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
+		engineUsage = rep.Usage
 		return json.Marshal(rep)
 	}
 	v, outcome, err := s.cache.GetOrCompute(CacheKey(j.req), run)
@@ -431,9 +515,18 @@ func (s *Server) compute(j *job) ([]byte, cache.Outcome, error) {
 		csp.SetName("cache.disk")
 	}
 	if err != nil {
-		return nil, outcome, err
+		return nil, outcome, nil, err
 	}
-	return v.([]byte), outcome, nil
+	rep := v.([]byte)
+	usage := &attrib.Usage{}
+	usage.Add(engineUsage)
+	if outcome == cache.Miss {
+		// We computed and wrote the entry through the cache tiers.
+		usage.CacheBytesWritten = int64(len(rep))
+	} else {
+		usage.CacheBytesRead = int64(len(rep))
+	}
+	return rep, outcome, usage, nil
 }
 
 // runEngine dispatches a canonicalised request to its backend. rec and
@@ -451,6 +544,7 @@ func (s *Server) runEngine(req *Request, rec *trace.Recorder, parent trace.SpanI
 		SeedBand: req.SeedBand, SeedPad: req.SeedPad,
 		Spans:      rec,
 		SpanParent: parent,
+		Counters:   s.engineCtrs,
 	}
 	switch req.Backend {
 	case BackendParallel:
@@ -463,7 +557,29 @@ func (s *Server) runEngine(req *Request, rec *trace.Recorder, parent trace.SpanI
 		opt.ThreadsPerSlave = req.ThreadsPerSlave
 	}
 	t0 := time.Now()
-	rep, err := repro.Analyze(req.ID, req.Sequence, opt)
+	// Label the engine run so continuous-profiler captures slice by
+	// request dimension (a flame graph filtered on kernel_tier=int16x16
+	// shows exactly the int16 ladder's CPU). Labels follow every
+	// goroutine the engine spawns.
+	backend := req.Backend
+	if backend == "" {
+		backend = BackendSequential
+	}
+	preset := req.Preset
+	if preset == "" {
+		preset = "exact"
+	}
+	labels := pprof.Labels(
+		"trace_id", rec.TraceID().String(),
+		"backend", backend,
+		"kernel_tier", repro.KernelTierFor(req.Matrix, req.GapOpen, req.GapExt, len(req.Sequence), req.Lanes),
+		"preset", preset,
+	)
+	var rep *repro.Report
+	var err error
+	pprof.Do(context.Background(), labels, func(context.Context) {
+		rep, err = repro.Analyze(req.ID, req.Sequence, opt)
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strings"
 	"sync"
 	"time"
 
@@ -54,13 +53,14 @@ type Router struct {
 	hot     *hotTracker
 	client  *http.Client
 
-	requests   *obs.Counter
-	retries    *obs.Counter
-	shared     *obs.Counter
-	hotFanout  *obs.Counter
-	failovers  *obs.Counter
-	ringSize   *obs.Gauge
-	upstreamNS *obs.Histogram
+	requests    *obs.Counter
+	retries     *obs.Counter
+	shared      *obs.Counter
+	hotFanout   *obs.Counter
+	failovers   *obs.Counter
+	sloDemotion *obs.Counter
+	ringSize    *obs.Gauge
+	upstreamNS  *obs.Histogram
 
 	shardMu     sync.Mutex
 	shardReqs   map[string]*obs.Counter
@@ -91,13 +91,14 @@ func New(cfg Config) *Router {
 		hot:     newHotTracker(cfg.HotKeyThreshold, time.Second),
 		client:  client,
 
-		requests:   cfg.Metrics.Counter("router/requests"),
-		retries:    cfg.Metrics.Counter("router/retries"),
-		shared:     cfg.Metrics.Counter("router/flight_shared"),
-		hotFanout:  cfg.Metrics.Counter("router/hot_fanout"),
-		failovers:  cfg.Metrics.Counter("router/failovers"),
-		ringSize:   cfg.Metrics.Gauge("router/ring_size"),
-		upstreamNS: cfg.Metrics.Histogram("router/upstream_ns"),
+		requests:    cfg.Metrics.Counter("router/requests"),
+		retries:     cfg.Metrics.Counter("router/retries"),
+		shared:      cfg.Metrics.Counter("router/flight_shared"),
+		hotFanout:   cfg.Metrics.Counter("router/hot_fanout"),
+		failovers:   cfg.Metrics.Counter("router/failovers"),
+		sloDemotion: cfg.Metrics.Counter("router/slo_demotions"),
+		ringSize:    cfg.Metrics.Gauge("router/ring_size"),
+		upstreamNS:  cfg.Metrics.Histogram("router/upstream_ns"),
 
 		shardReqs: make(map[string]*obs.Counter),
 		shardErrs: make(map[string]*obs.Counter),
@@ -119,19 +120,16 @@ func (rt *Router) Close() { rt.mon.close() }
 // Ring exposes the hash ring (tests and the stats endpoint).
 func (rt *Router) Ring() *Ring { return rt.ring }
 
-// metricName flattens a shard URL into a metric-name segment.
-func metricName(shard string) string {
-	s := strings.TrimPrefix(strings.TrimPrefix(shard, "http://"), "https://")
-	return strings.NewReplacer(":", "_", "/", "_", ".", "_").Replace(s)
-}
-
 func (rt *Router) shardCounters(shard string) (reqs, errs *obs.Counter) {
 	rt.shardMu.Lock()
 	defer rt.shardMu.Unlock()
 	if rt.shardReqs[shard] == nil {
-		n := metricName(shard)
-		rt.shardReqs[shard] = rt.cfg.Metrics.Counter("router/shard_requests/" + n)
-		rt.shardErrs[shard] = rt.cfg.Metrics.Counter("router/shard_errors/" + n)
+		// Per-shard counters carry the shard URL as a label rather than a
+		// flattened name segment: the Prometheus/OpenMetrics writers
+		// escape the value, so a hostile or merely odd URL cannot corrupt
+		// the exposition.
+		rt.shardReqs[shard] = rt.cfg.Metrics.Counter(obs.LabeledName("router/shard_requests", "shard", shard))
+		rt.shardErrs[shard] = rt.cfg.Metrics.Counter(obs.LabeledName("router/shard_errors", "shard", shard))
 	}
 	return rt.shardReqs[shard], rt.shardErrs[shard]
 }
@@ -228,7 +226,33 @@ func (rt *Router) targets(key string, now time.Time) (list []string, hot bool) {
 	} else {
 		list = all
 	}
-	return list, hot
+	return rt.demoteBurning(list), hot
+}
+
+// demoteBurning applies the SLO admission hint: when the preferred
+// shard is burning its error budget (any objective paging on /slo) and
+// a non-burning alternative exists, stable-partition non-burning shards
+// to the front. Burning shards stay in the list — they are alive, and
+// if the whole fleet is burning the ordering is unchanged — but new
+// work prefers shards with budget to spend.
+func (rt *Router) demoteBurning(list []string) []string {
+	if len(list) < 2 || !rt.mon.isBurning(list[0]) {
+		return list
+	}
+	healthy := make([]string, 0, len(list))
+	burning := make([]string, 0, 2)
+	for _, s := range list {
+		if rt.mon.isBurning(s) {
+			burning = append(burning, s)
+		} else {
+			healthy = append(healthy, s)
+		}
+	}
+	if len(healthy) == 0 {
+		return list
+	}
+	rt.sloDemotion.Inc()
+	return append(healthy, burning...)
 }
 
 func (rt *Router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -336,8 +360,11 @@ func (rt *Router) roundTrip(ctx context.Context, shard, method, path string, bod
 	}
 	rt.upstreamNS.Observe(time.Since(t0))
 
-	hdr := make(http.Header, 4)
-	for _, k := range []string{"Content-Type", "Retry-After", "X-Trace-Id"} {
+	hdr := make(http.Header, 8)
+	for _, k := range []string{"Content-Type", "Retry-After", "X-Trace-Id",
+		"X-Resource-Cpu-Ns", "X-Resource-Cells", "X-Resource-Alloc-Bytes",
+		"X-Resource-Queue-Ns", "X-Resource-Cache-Read-Bytes",
+		"X-Resource-Cache-Written-Bytes"} {
 		if v := resp.Header.Get(k); v != "" {
 			hdr.Set(k, v)
 		}

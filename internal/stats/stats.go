@@ -19,6 +19,17 @@ import (
 	"repro/internal/obs"
 )
 
+// NumTiers is the size of the per-tier alignment counter array. It
+// must cover every multialign.Tier ordinal; stats cannot import
+// multialign (multialign threads *Counters through its scratch), so
+// the engine asserts the correspondence in a test.
+const NumTiers = 3
+
+// TierNames maps tier ordinals to the exposition names used in
+// per-tier counters and Usage.KernelTiers. Index i is
+// multialign.Tier(i).String().
+var TierNames = [NumTiers]string{"scalar", "int32x8", "int16x16"}
+
 // Counters accumulates engine activity. Safe for concurrent use; the
 // zero value is ready.
 type Counters struct {
@@ -29,6 +40,10 @@ type Counters struct {
 	shadowEnds   obs.Counter // bottom-row cells rejected as shadows
 	queueSkips   obs.Counter // acceptances straight from the queue (no realign needed)
 	alignNanos   obs.Histogram
+
+	cpuNanos  obs.Counter           // thread CPU attributed to compute goroutines
+	tierAlign [NumTiers]obs.Counter // alignments served per kernel tier
+	tierRerun obs.Counter           // int16 saturation re-runs (extra int32 passes)
 }
 
 // Bind registers every counter in reg under the engine/ namespace, so
@@ -45,6 +60,11 @@ func (c *Counters) Bind(reg *obs.Registry) {
 	reg.BindCounter("engine/shadow_ends", &c.shadowEnds)
 	reg.BindCounter("engine/queue_skips", &c.queueSkips)
 	reg.BindHistogram("engine/align_ns", &c.alignNanos)
+	reg.BindCounter("engine/cpu_ns", &c.cpuNanos)
+	for i := range c.tierAlign {
+		reg.BindCounter("engine/alignments_tier/"+TierNames[i], &c.tierAlign[i])
+	}
+	reg.BindCounter("engine/tier_reruns", &c.tierRerun)
 }
 
 // AddAlignment records one score-only alignment over the given number of
@@ -82,6 +102,29 @@ func (c *Counters) ObserveAlignLatencyPer(d time.Duration, members int) {
 	c.alignNanos.ObserveN(d/time.Duration(members), members)
 }
 
+// AddCPU attributes measured thread-CPU nanoseconds to the engine.
+// Non-positive deltas are dropped.
+func (c *Counters) AddCPU(ns int64) {
+	if c == nil || ns <= 0 {
+		return
+	}
+	c.cpuNanos.Add(ns)
+}
+
+// AddTierAlignments attributes n alignments to kernel tier ordinal
+// tier; rerun marks the batch as having needed an int32 re-run after
+// int16 saturation (counted separately — the alignments still belong
+// to the tier that finally served them).
+func (c *Counters) AddTierAlignments(tier int, n int64, rerun bool) {
+	if c == nil || tier < 0 || tier >= NumTiers || n <= 0 {
+		return
+	}
+	c.tierAlign[tier].Add(n)
+	if rerun {
+		c.tierRerun.Add(n)
+	}
+}
+
 // AddTraceback records one full-matrix traceback over cells entries.
 func (c *Counters) AddTraceback(cells int64) {
 	if c == nil {
@@ -117,6 +160,56 @@ type Snapshot struct {
 	QueueSkips   int64
 	// AlignLatency is the per-alignment wall-time histogram.
 	AlignLatency obs.HistogramSnapshot
+	// CPUNanos is attributed thread CPU; TierAlignments/TierReruns the
+	// kernel-tier mix (see AddTierAlignments).
+	CPUNanos       int64
+	TierAlignments [NumTiers]int64
+	TierReruns     int64
+}
+
+// KernelTiers renders the tier mix as the exposition map used by
+// attrib.Usage: nonzero tiers by name, plus "rerun" for saturation
+// re-runs. Returns nil when no tier was attributed.
+func (s Snapshot) KernelTiers() map[string]int64 {
+	var m map[string]int64
+	for i, n := range s.TierAlignments {
+		if n == 0 {
+			continue
+		}
+		if m == nil {
+			m = make(map[string]int64, NumTiers+1)
+		}
+		m[TierNames[i]] = n
+	}
+	if s.TierReruns != 0 {
+		if m == nil {
+			m = make(map[string]int64, 1)
+		}
+		m["rerun"] = s.TierReruns
+	}
+	return m
+}
+
+// AddSnapshot folds another set's snapshot into this one. The serving
+// layer uses it to accumulate per-run engine work into one registry-
+// bound lifetime set, keeping exported engine/ counters monotone across
+// requests (see repro.Options.Counters). Nil-safe on the receiver.
+func (c *Counters) AddSnapshot(s Snapshot) {
+	if c == nil {
+		return
+	}
+	c.alignments.Add(s.Alignments)
+	c.cells.Add(s.Cells)
+	c.realignments.Add(s.Realignments)
+	c.tracebacks.Add(s.Tracebacks)
+	c.shadowEnds.Add(s.ShadowEnds)
+	c.queueSkips.Add(s.QueueSkips)
+	c.alignNanos.AddSnapshot(s.AlignLatency)
+	c.cpuNanos.Add(s.CPUNanos)
+	for i, n := range s.TierAlignments {
+		c.tierAlign[i].Add(n)
+	}
+	c.tierRerun.Add(s.TierReruns)
 }
 
 // Snapshot returns the current counter values (zero Snapshot for nil).
@@ -124,7 +217,7 @@ func (c *Counters) Snapshot() Snapshot {
 	if c == nil {
 		return Snapshot{}
 	}
-	return Snapshot{
+	s := Snapshot{
 		Alignments:   c.alignments.Load(),
 		Cells:        c.cells.Load(),
 		Realignments: c.realignments.Load(),
@@ -132,7 +225,13 @@ func (c *Counters) Snapshot() Snapshot {
 		ShadowEnds:   c.shadowEnds.Load(),
 		QueueSkips:   c.queueSkips.Load(),
 		AlignLatency: c.alignNanos.Snapshot(),
+		CPUNanos:     c.cpuNanos.Load(),
+		TierReruns:   c.tierRerun.Load(),
 	}
+	for i := range c.tierAlign {
+		s.TierAlignments[i] = c.tierAlign[i].Load()
+	}
+	return s
 }
 
 // RealignmentReduction returns the fraction of potential realignments the

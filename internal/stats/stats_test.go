@@ -12,9 +12,10 @@ func TestNilCountersAreSafe(t *testing.T) {
 	c.AddTraceback(50)
 	c.AddShadowEnds(3)
 	c.AddQueueSkip()
-	if s := c.Snapshot(); s != (Snapshot{}) {
+	if s := c.Snapshot(); s.Alignments != 0 || s.Cells != 0 || s.AlignLatency.Count != 0 {
 		t.Errorf("nil counters snapshot = %+v", s)
 	}
+	c.AddSnapshot(Snapshot{Alignments: 1}) // nil-safe too
 }
 
 func TestCountersAccumulate(t *testing.T) {
@@ -29,6 +30,30 @@ func TestCountersAccumulate(t *testing.T) {
 	if s.Alignments != 2 || s.Realignments != 1 || s.Cells != 350 ||
 		s.Tracebacks != 1 || s.ShadowEnds != 2 || s.QueueSkips != 1 {
 		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+// TestAddSnapshotFolds checks the serve-layer accumulation path: two
+// per-run snapshots folded into a lifetime set read back as their sum,
+// including the latency histogram and per-tier counters.
+func TestAddSnapshotFolds(t *testing.T) {
+	run := &Counters{}
+	run.AddAlignment(100, false)
+	run.AddTierAlignments(1, 1, false)
+	run.AddCPU(5000)
+	run.ObserveAlignLatency(1000)
+	life := &Counters{}
+	life.AddSnapshot(run.Snapshot())
+	life.AddSnapshot(run.Snapshot())
+	s := life.Snapshot()
+	if s.Alignments != 2 || s.Cells != 200 || s.CPUNanos != 10000 {
+		t.Errorf("folded snapshot = %+v", s)
+	}
+	if s.TierAlignments[1] != 2 {
+		t.Errorf("tier counters not folded: %v", s.TierAlignments)
+	}
+	if s.AlignLatency.Count != 2 || s.AlignLatency.Sum != 2000 {
+		t.Errorf("latency histogram not folded: %+v", s.AlignLatency)
 	}
 }
 

@@ -112,6 +112,7 @@ func (e *Engine) AlignScoreS(r int, tri *triangle.Triangle, sc *Scratch) int32 {
 		e.cfg.Counters.ObserveAlignLatency(time.Since(t0))
 		e.orig.Put(r, row) // Put copies; row is scratch-owned
 		e.cfg.Counters.AddAlignment(align.Cells(len(s1), len(s2)), false)
+		e.cfg.Counters.AddTierAlignments(int(multialign.TierScalar), 1, false)
 		_, score, _ := align.BestValidEnd(row, nil)
 		return score
 	}
@@ -119,6 +120,7 @@ func (e *Engine) AlignScoreS(r int, tri *triangle.Triangle, sc *Scratch) int32 {
 	row := e.scoreScalar(sc, s1, s2, tri, r)
 	e.cfg.Counters.ObserveAlignLatency(time.Since(t0))
 	e.cfg.Counters.AddAlignment(align.Cells(len(s1), len(s2)), true)
+	e.cfg.Counters.AddTierAlignments(int(multialign.TierScalar), 1, false)
 	_, score, rejected := align.BestValidEnd(row, orig)
 	e.cfg.Counters.AddShadowEnds(rejected)
 	if rejected > 0 {
@@ -190,6 +192,7 @@ func (e *Engine) AlignGroupScoreS(r0 int, tri *triangle.Triangle, sc *Scratch, s
 		return scores
 	}
 	e.cfg.Counters.ObserveAlignLatencyPer(time.Since(t0), members)
+	e.cfg.Counters.AddTierAlignments(int(g.Tier), int64(members), g.Rerun)
 	for i := 0; i < lanes; i++ {
 		r := r0 + i
 		if r > m-1 {

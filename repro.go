@@ -27,6 +27,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/multialign"
 	"repro/internal/obs"
+	"repro/internal/obs/attrib"
 	"repro/internal/obs/trace"
 	"repro/internal/parallel"
 	"repro/internal/repeats"
@@ -100,6 +101,14 @@ type Options struct {
 	// counters (bound under engine/) and, for cluster runs, per-rank
 	// dispatch counters and row-fetch latencies. See DESIGN.md §8.
 	Metrics *obs.Registry
+	// Counters, when non-nil, receives this run's engine work folded
+	// into a caller-owned cumulative set after the run completes.
+	// Long-lived callers (the serving layer) bind one set to their
+	// registry once and pass it for every run, keeping the exported
+	// engine/ counters cumulative — per-run Bind would rebind fresh
+	// counters each time and reset the exported values to the latest
+	// run only. Report.Stats and Report.Usage stay per-run regardless.
+	Counters *stats.Counters
 	// Trace, when non-nil, records task-queue events (enqueue, realign,
 	// accept, shadow-reject, speculation-waste) so the run can be
 	// traced and replayed.
@@ -201,6 +210,11 @@ type Report struct {
 	Stats    Stats
 	// Prefilter is set when a seed-filter-extend preset was requested.
 	Prefilter *PrefilterInfo `json:"Prefilter,omitempty"`
+	// Usage is the resource-attribution record: thread CPU spent by the
+	// compute goroutines (including cluster slaves, local or remote),
+	// cells, kernel-tier mix, and the heap-allocation delta of the run.
+	// The serving layer extends it with queue-wait and cache traffic.
+	Usage *attrib.Usage `json:"Usage,omitempty"`
 }
 
 // Analyze encodes residues under the matrix's alphabet and runs the
@@ -271,7 +285,11 @@ func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error
 		numTops = DefaultNumTops
 	}
 	counters := &stats.Counters{}
-	counters.Bind(opt.Metrics)
+	if opt.Counters == nil {
+		// Binding the per-run set is only safe when no caller-owned
+		// cumulative set holds the registry names.
+		counters.Bind(opt.Metrics)
+	}
 	// The engine span wraps the whole top-alignment computation; the
 	// engine-specific children (cluster.run, parallel.worker,
 	// engine.accept) nest under it. Nil-safe throughout: an untraced
@@ -329,6 +347,15 @@ func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error
 		res    *topalign.Result
 		pstats *seedindex.Stats
 	)
+	// Resource attribution: the driver goroutine pins its thread and
+	// meters its own CPU across the engine run (for the sequential and
+	// windowed drivers that is all the compute; for parallel/cluster it
+	// is the scheduling loop — the workers meter themselves into the
+	// same counters). The heap-alloc delta is process-global, accurate
+	// when requests run one at a time (the bench configuration).
+	alloc0 := attrib.HeapAllocBytes()
+	var sw attrib.Stopwatch
+	sw.Start()
 	switch {
 	case opt.Preset == seedindex.PresetFast || opt.Preset == seedindex.PresetBalanced:
 		// Windowed extension through the best-first queue; always the
@@ -345,6 +372,7 @@ func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error
 	default:
 		res, err = topalign.Find(q.Codes, cfg)
 	}
+	counters.AddCPU(sw.Stop())
 	if err == nil && opt.Preset == seedindex.PresetSensitive {
 		// Sensitive routes results through the exact engine above;
 		// the prefilter runs scan-only for telemetry, so its report is
@@ -396,6 +424,7 @@ func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error
 		rep.Families = append(rep.Families, rf)
 	}
 	snap := counters.Snapshot()
+	opt.Counters.AddSnapshot(snap)
 	rep.Stats = Stats{
 		Alignments:   snap.Alignments,
 		Realignments: snap.Realignments,
@@ -407,7 +436,34 @@ func analyze(q *seq.Sequence, exch *scoring.Matrix, opt Options) (*Report, error
 	if len(rep.Tops) > 1 {
 		rep.Stats.RealignmentReduction = snap.RealignmentReduction(q.Len()-1, len(rep.Tops))
 	}
+	allocDelta := attrib.HeapAllocBytes() - alloc0
+	if allocDelta < 0 {
+		allocDelta = 0
+	}
+	rep.Usage = &attrib.Usage{
+		CPUNanos:    snap.CPUNanos,
+		Cells:       snap.Cells,
+		Alignments:  snap.Alignments,
+		AllocBytes:  allocDelta,
+		KernelTiers: snap.KernelTiers(),
+	}
 	return rep, nil
+}
+
+// KernelTierFor reports the kernel tier name Analyze would select for
+// the given request shape ("" on an unknown matrix). The serving layer
+// stamps it onto pprof labels before running the engine, so profiler
+// captures slice by tier without re-deriving scoring internals.
+func KernelTierFor(matrix string, gapOpen, gapExt, seqLen, lanes int) string {
+	exch, err := resolveMatrix(matrix)
+	if err != nil {
+		return ""
+	}
+	gap := defaultGap(exch)
+	if gapOpen != 0 || gapExt != 0 {
+		gap = scoring.Gap{Open: int32(gapOpen), Ext: int32(gapExt)}
+	}
+	return multialign.TierFor(align.Params{Exch: exch, Gap: gap}, seqLen, lanes).String()
 }
 
 // WriteReport pretty-prints a report in the reprocli output format.
